@@ -1,0 +1,48 @@
+//! Ablation bench (§3.3 Remark): the randomized rounding of the mRR root
+//! count versus the fixed `⌊n/η⌋` and `⌊n/η⌋ + 1` variants.
+//!
+//! Time differences are marginal (the fixed-ceil variant samples one extra
+//! root); what the Remark is about is estimator *accuracy* — the companion
+//! integration test `tests/theorem33_bounds.rs` verifies the
+//! `[1 − 1/e, 1]` vs `[1 − 1/√e, 1]` vs `[1 − 1/e, 2]` ranges. This bench
+//! pins down that the accuracy win is not paid for in sampling time.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smin_diffusion::{Model, ResidualState};
+use smin_sampling::{MrrSampler, RootCountDist};
+use std::hint::black_box;
+
+fn bench_rounding(c: &mut Criterion) {
+    let g = common::bench_graph();
+    let n = g.n();
+    let mut group = c.benchmark_group("ablation_rounding");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for (name, dist) in [
+        ("randomized", RootCountDist::Randomized),
+        ("fixed_floor", RootCountDist::FixedFloor),
+        ("fixed_ceil", RootCountDist::FixedCeil),
+    ] {
+        for &eta in &[30usize, 300] {
+            group.bench_with_input(BenchmarkId::new(name, eta), &eta, |bench, &eta| {
+                let mut residual = ResidualState::new(n);
+                let mut sampler = MrrSampler::new(n);
+                let mut rng = SmallRng::seed_from_u64(9);
+                let mut out = Vec::new();
+                bench.iter(|| {
+                    sampler.sample_into(&g, Model::IC, &mut residual, eta, dist, &mut rng, &mut out);
+                    black_box(out.len())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounding);
+criterion_main!(benches);

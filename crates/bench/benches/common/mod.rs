@@ -1,0 +1,19 @@
+//! Shared fixtures for the Criterion microbenches: a NetHEPT-scale-down
+//! Chung–Lu graph with WC weights (n = 2000, m = 8000 directed).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smin_graph::generators::{assemble, chung_lu_directed};
+use smin_graph::{Graph, WeightModel};
+
+/// Standard bench graph: power-law, WC-weighted, deterministic.
+pub fn bench_graph() -> Graph {
+    bench_graph_sized(2_000, 8_000)
+}
+
+/// Bench graph with explicit size.
+pub fn bench_graph_sized(n: usize, m: usize) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+    let pairs = chung_lu_directed(n, m, 2.1, &mut rng);
+    assemble(n, &pairs, true, WeightModel::WeightedCascade, &mut rng).expect("valid generator output")
+}

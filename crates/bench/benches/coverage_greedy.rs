@@ -1,0 +1,43 @@
+//! Microbench: greedy maximum coverage over a sketch pool (TRIM-B Line 8)
+//! across batch sizes — confirms the `O(b·n + Σ|R|)` scaling.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smin_diffusion::{Model, ResidualState};
+use smin_sampling::{greedy_max_coverage, MrrSampler, RootCountDist, SketchPool};
+use std::hint::black_box;
+
+fn build_pool(sets: usize) -> SketchPool {
+    let g = common::bench_graph();
+    let n = g.n();
+    let mut residual = ResidualState::new(n);
+    let mut sampler = MrrSampler::new(n);
+    let mut rng = SmallRng::seed_from_u64(4);
+    let mut pool = SketchPool::new(n);
+    let mut out = Vec::new();
+    for _ in 0..sets {
+        sampler.sample_into(&g, Model::IC, &mut residual, 100, RootCountDist::Randomized, &mut rng, &mut out);
+        pool.add_set(&out);
+    }
+    pool
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let pool = build_pool(4_096);
+    let mut group = c.benchmark_group("coverage_greedy");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for &b in &[1usize, 2, 4, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
+            bench.iter(|| black_box(greedy_max_coverage(&pool, b).covered));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy);
+criterion_main!(benches);

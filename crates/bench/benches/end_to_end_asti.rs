@@ -1,0 +1,51 @@
+//! End-to-end bench: a full adaptive run to η = 5% of n on the standard
+//! bench graph — miniature of Figures 5/7, covering ASTI, ASTI-4, and the
+//! AdaptIM baseline under both models.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smin_core::{adapt_im, asti, AdaptImParams, AstiParams};
+use smin_diffusion::{Model, Realization, RealizationOracle};
+use std::hint::black_box;
+
+fn bench_asti(c: &mut Criterion) {
+    let g = common::bench_graph();
+    let eta = g.n() / 20;
+    let mut group = c.benchmark_group("end_to_end");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+
+    for model in [Model::IC, Model::LT] {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let phi = Realization::sample(&g, model, &mut rng);
+        for &b in &[1usize, 4] {
+            let name = if b == 1 { format!("asti/{model}") } else { format!("asti_b{b}/{model}") };
+            group.bench_function(name, |bench| {
+                let params = AstiParams::batched(0.5, b);
+                let mut rng = SmallRng::seed_from_u64(11);
+                bench.iter(|| {
+                    let mut oracle = RealizationOracle::new(&g, phi.clone());
+                    let report = asti(&g, model, eta, &params, &mut oracle, &mut rng).expect("valid");
+                    black_box(report.num_seeds())
+                });
+            });
+        }
+        group.bench_function(format!("adapt_im/{model}"), |bench| {
+            let params = AdaptImParams::with_eps(0.5);
+            let mut rng = SmallRng::seed_from_u64(11);
+            bench.iter(|| {
+                let mut oracle = RealizationOracle::new(&g, phi.clone());
+                let report = adapt_im(&g, model, eta, &params, &mut oracle, &mut rng).expect("valid");
+                black_box(report.num_seeds())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_asti);
+criterion_main!(benches);

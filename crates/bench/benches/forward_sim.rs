@@ -1,0 +1,46 @@
+//! Microbench: forward propagation — realization sampling, realization
+//! spread queries, and fresh-coin simulation (the observe step's cost).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smin_diffusion::{ForwardSim, Model, Realization};
+use std::hint::black_box;
+
+fn bench_forward(c: &mut Criterion) {
+    let g = common::bench_graph();
+    let n = g.n();
+    let mut group = c.benchmark_group("forward_sim");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+
+    for model in [Model::IC, Model::LT] {
+        group.bench_function(format!("sample_realization/{model}"), |bench| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            bench.iter(|| black_box(Realization::sample(&g, model, &mut rng).live_edge_count()));
+        });
+    }
+
+    let mut rng = SmallRng::seed_from_u64(6);
+    let phi = Realization::sample(&g, Model::IC, &mut rng);
+    let seeds: Vec<u32> = (0..16).map(|i| i * 37 % n as u32).collect();
+    group.bench_function("realization_spread/16_seeds", |bench| {
+        let mut sim = ForwardSim::new(n);
+        bench.iter(|| black_box(sim.spread(&g, &phi, &seeds)));
+    });
+
+    for model in [Model::IC, Model::LT] {
+        group.bench_function(format!("fresh_coin_sim/{model}"), |bench| {
+            let mut sim = ForwardSim::new(n);
+            let mut rng = SmallRng::seed_from_u64(7);
+            bench.iter(|| black_box(sim.simulate(&g, model, &seeds, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

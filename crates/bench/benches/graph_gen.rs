@@ -1,0 +1,41 @@
+//! Microbench: synthetic graph generation and CSR assembly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smin_graph::generators::{assemble, barabasi_albert, chung_lu_directed, erdos_renyi};
+use smin_graph::WeightModel;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_gen");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &(n, m) in &[(2_000usize, 8_000usize), (10_000, 40_000)] {
+        group.bench_with_input(BenchmarkId::new("chung_lu", n), &(n, m), |bench, &(n, m)| {
+            let mut rng = SmallRng::seed_from_u64(8);
+            bench.iter(|| black_box(chung_lu_directed(n, m, 2.1, &mut rng).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("erdos_renyi", n), &(n, m), |bench, &(n, m)| {
+            let mut rng = SmallRng::seed_from_u64(8);
+            bench.iter(|| black_box(erdos_renyi(n, m, &mut rng).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("barabasi_albert", n), &n, |bench, &n| {
+            let mut rng = SmallRng::seed_from_u64(8);
+            bench.iter(|| black_box(barabasi_albert(n, 4, &mut rng).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("assemble_wc", n), &(n, m), |bench, &(n, m)| {
+            let mut rng = SmallRng::seed_from_u64(8);
+            let pairs = chung_lu_directed(n, m, 2.1, &mut rng);
+            bench.iter(|| {
+                let g = assemble(n, &pairs, true, WeightModel::WeightedCascade, &mut rng).unwrap();
+                black_box(g.m())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Microbench: mRR-set generation cost per sample, across η (root count
+//! `E[k] = n/η` shrinks as η grows — Lemma 3.8's EPT trade-off) and models
+//! (LT sets are cheaper: one in-edge per node).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smin_diffusion::{Model, ResidualState};
+use smin_sampling::{MrrSampler, RootCountDist};
+use std::hint::black_box;
+
+fn bench_mrr(c: &mut Criterion) {
+    let g = common::bench_graph();
+    let n = g.n();
+    let mut group = c.benchmark_group("mrr_generation");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for &eta in &[20usize, 100, 400] {
+        for model in [Model::IC, Model::LT] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{model}"), eta),
+                &eta,
+                |bench, &eta| {
+                    let mut residual = ResidualState::new(n);
+                    let mut sampler = MrrSampler::new(n);
+                    let mut rng = SmallRng::seed_from_u64(1);
+                    let mut out = Vec::new();
+                    bench.iter(|| {
+                        sampler.sample_into(
+                            &g,
+                            model,
+                            &mut residual,
+                            eta,
+                            RootCountDist::Randomized,
+                            &mut rng,
+                            &mut out,
+                        );
+                        black_box(out.len())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mrr);
+criterion_main!(benches);

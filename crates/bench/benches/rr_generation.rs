@@ -1,0 +1,58 @@
+//! Microbench: classic single-root RR sets (the baselines' sampler) vs the
+//! multi-root sampler at matched graph size — quantifies the per-sample cost
+//! the mRR estimator pays for its accuracy.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smin_diffusion::{Model, ResidualState};
+use smin_sampling::{MrrSampler, ReverseSampler};
+use std::hint::black_box;
+
+fn bench_rr(c: &mut Criterion) {
+    let g = common::bench_graph();
+    let n = g.n();
+    let mut group = c.benchmark_group("rr_generation");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+
+    for model in [Model::IC, Model::LT] {
+        group.bench_function(format!("single_root/{model}"), |bench| {
+            let mut sampler = ReverseSampler::new(n);
+            let mut residual = ResidualState::new(n);
+            let mut rng = SmallRng::seed_from_u64(2);
+            let mut out = Vec::new();
+            let mut roots = Vec::new();
+            bench.iter(|| {
+                residual.sample_k_distinct(1, &mut rng, &mut roots);
+                sampler.sample_into(&g, model, Some(residual.alive_mask()), &roots, &mut rng, &mut out);
+                black_box(out.len())
+            });
+        });
+        group.bench_function(format!("multi_root_eta100/{model}"), |bench| {
+            let mut sampler = MrrSampler::new(n);
+            let mut residual = ResidualState::new(n);
+            let mut rng = SmallRng::seed_from_u64(2);
+            let mut out = Vec::new();
+            bench.iter(|| {
+                sampler.sample_into(
+                    &g,
+                    model,
+                    &mut residual,
+                    100,
+                    smin_sampling::RootCountDist::Randomized,
+                    &mut rng,
+                    &mut out,
+                );
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rr);
+criterion_main!(benches);

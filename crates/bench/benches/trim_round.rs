@@ -1,0 +1,66 @@
+//! Microbench: one full TRIM round (Algorithm 2) and one TRIM-B round
+//! (Algorithm 3, b ∈ {2, 8}) on the standard bench graph — the unit of work
+//! behind Figures 5 and 7.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smin_core::trim::{trim, TrimScratch};
+use smin_core::trim_b::trim_b;
+use smin_core::TrimParams;
+use smin_diffusion::{Model, ResidualState};
+use std::hint::black_box;
+
+fn bench_trim(c: &mut Criterion) {
+    let g = common::bench_graph();
+    let n = g.n();
+    let params = TrimParams::with_eps(0.5);
+    let mut group = c.benchmark_group("trim_round");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+
+    for &eta in &[100usize, 400] {
+        group.bench_with_input(BenchmarkId::new("trim", eta), &eta, |bench, &eta| {
+            let mut scratch = TrimScratch::new(n);
+            let mut rng = SmallRng::seed_from_u64(3);
+            bench.iter(|| {
+                let mut residual = ResidualState::new(n);
+                let out = trim(&g, Model::IC, &mut residual, eta, &params, &mut scratch, &mut rng)
+                    .expect("valid");
+                black_box(out.node)
+            });
+        });
+        for &b in &[2usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("trim_b{b}"), eta),
+                &eta,
+                |bench, &eta| {
+                    let mut scratch = TrimScratch::new(n);
+                    let mut rng = SmallRng::seed_from_u64(3);
+                    bench.iter(|| {
+                        let mut residual = ResidualState::new(n);
+                        let out = trim_b(
+                            &g,
+                            Model::IC,
+                            &mut residual,
+                            eta,
+                            b,
+                            &params,
+                            &mut scratch,
+                            &mut rng,
+                        )
+                        .expect("valid");
+                        black_box(out.seeds.len())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trim);
+criterion_main!(benches);

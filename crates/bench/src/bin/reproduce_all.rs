@@ -1,0 +1,38 @@
+//! Runs every table and figure in sequence, writing all JSON artifacts to
+//! the output directory. `--smoke` finishes in ~a minute; `--quick` in tens
+//! of minutes; `--paper` reproduces the full §6 grid (hours).
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table2_datasets",
+        "fig3_degree_dist",
+        "fig4_seeds_ic",
+        "fig5_time_ic",
+        "fig6_seeds_lt",
+        "fig7_time_lt",
+        "table3_improvement",
+        "fig8_spread_dist",
+        "fig9_spread_vs_threshold",
+        "fig10_marginal_spread",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    for bin in bins {
+        println!("\n######## {bin} ########");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e} (build with --bins first)"));
+        if !status.success() {
+            eprintln!("{bin} failed with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nall experiments completed");
+}

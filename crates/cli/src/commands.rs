@@ -1,0 +1,289 @@
+//! Subcommand implementations.
+
+use crate::flags::Flags;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smin_core::{adapt_im, asti, ateuc, AdaptImParams, AstiParams, AteucParams};
+use smin_diffusion::{InfluenceOracle, Model, Realization, RealizationOracle};
+use smin_graph::components::weakly_connected_components;
+use smin_graph::degree::{degree_distribution, log_log_slope, DegreeKind};
+use smin_graph::generators::{assemble, barabasi_albert, chung_lu_directed, erdos_renyi, watts_strogatz};
+use smin_graph::{io, Graph, WeightModel};
+
+/// Loads a graph by extension: `.bin` = binary format, else edge list.
+fn load_graph(path: &str) -> Result<Graph, String> {
+    if path.ends_with(".bin") {
+        io::read_binary_path(path).map_err(|e| format!("{path}: {e}"))
+    } else {
+        io::read_edge_list_path(path)
+            .and_then(|el| el.into_graph(true, 1.0))
+            .map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// Saves a graph by extension.
+fn save_graph(g: &Graph, path: &str) -> Result<(), String> {
+    if path.ends_with(".bin") {
+        io::write_binary_path(g, path).map_err(|e| format!("{path}: {e}"))
+    } else {
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        io::write_edge_list(g, std::io::BufWriter::new(file)).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn parse_weights(spec: &str) -> Result<WeightModel, String> {
+    match spec {
+        "wc" => Ok(WeightModel::WeightedCascade),
+        "tri" => Ok(WeightModel::Trivalency),
+        other => {
+            if let Some(p) = other.strip_prefix("uniform:") {
+                let p: f64 = p.parse().map_err(|e| format!("bad uniform probability: {e}"))?;
+                Ok(WeightModel::Uniform(p))
+            } else {
+                Err(format!("unknown weight model '{other}' (wc | uniform:P | tri)"))
+            }
+        }
+    }
+}
+
+/// `asm generate`
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let kind = f.require("kind")?;
+    let n: usize = f.get_parsed("n")?.ok_or("missing required --n")?;
+    let seed: u64 = f.get_or("seed", 42)?;
+    let out = f.require("out")?;
+    let weights = parse_weights(f.get("weights").unwrap_or("wc"))?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let (pairs, directed) = match kind {
+        "chung-lu" => {
+            let m: usize = f.get_or("m", n * 5)?;
+            let gamma: f64 = f.get_or("gamma", 2.1)?;
+            (chung_lu_directed(n, m, gamma, &mut rng), true)
+        }
+        "er" => {
+            let m: usize = f.get_or("m", n * 5)?;
+            (erdos_renyi(n, m, &mut rng), true)
+        }
+        "ba" => {
+            let attach: usize = f.get_or("attach", 4)?;
+            (barabasi_albert(n, attach, &mut rng), false)
+        }
+        "ws" => {
+            let k: usize = f.get_or("k", 6)?;
+            let beta: f64 = f.get_or("beta", 0.1)?;
+            (watts_strogatz(n, k, beta, &mut rng), false)
+        }
+        other => return Err(format!("unknown generator '{other}' (chung-lu | ba | er | ws)")),
+    };
+    let g = assemble(n, &pairs, directed, weights, &mut rng).map_err(|e| e.to_string())?;
+    save_graph(&g, out)?;
+    println!("wrote {out}: {} nodes, {} directed edges", g.n(), g.m());
+    Ok(())
+}
+
+/// `asm stats`
+pub fn stats(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let path = f
+        .positional
+        .first()
+        .ok_or("usage: asm stats <GRAPH>")?;
+    let g = load_graph(path)?;
+    let wcc = weakly_connected_components(&g);
+    let dist = degree_distribution(&g, DegreeKind::Total);
+    let max_deg = dist.last().map(|&(d, _)| d).unwrap_or(0);
+    println!("nodes:            {}", g.n());
+    println!("directed edges:   {}", g.m());
+    println!("avg out-degree:   {:.3}", g.m() as f64 / g.n().max(1) as f64);
+    println!("max total degree: {max_deg}");
+    println!("wcc count:        {}", wcc.count);
+    println!(
+        "largest wcc:      {} ({:.1}% of nodes)",
+        wcc.largest,
+        100.0 * wcc.largest as f64 / g.n().max(1) as f64
+    );
+    if let Some(slope) = log_log_slope(&dist) {
+        println!("log-log slope:    {slope:.2}");
+    }
+    println!("valid LT:         {}", g.is_valid_lt());
+    println!("memory:           {:.1} MiB", g.memory_bytes() as f64 / (1024.0 * 1024.0));
+    Ok(())
+}
+
+/// `asm run`
+pub fn run(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let g = load_graph(f.require("graph")?)?;
+    let algo = f.require("algo")?;
+    let model: Model = f
+        .get("model")
+        .unwrap_or("ic")
+        .parse()
+        .map_err(|e: String| e)?;
+    let eps: f64 = f.get_or("eps", 0.5)?;
+    let seed: u64 = f.get_or("seed", 42)?;
+    let worlds: usize = f.get_or("worlds", 1)?;
+    let eta = match (f.get_parsed::<usize>("eta")?, f.get_parsed::<f64>("eta-frac")?) {
+        (Some(e), None) => e,
+        (None, Some(frac)) => ((g.n() as f64) * frac).round().max(1.0) as usize,
+        (Some(_), Some(_)) => return Err("give --eta or --eta-frac, not both".into()),
+        (None, None) => return Err("missing --eta or --eta-frac".into()),
+    };
+    println!(
+        "graph: n = {}, m = {}; target η = {eta}; model {model}; {worlds} world(s)",
+        g.n(),
+        g.m()
+    );
+
+    match algo {
+        "asti" | "adaptim" => {
+            let batch: usize = f.get_or("batch", 1)?;
+            let mut total_seeds = 0usize;
+            let mut total_time = 0.0f64;
+            for w in 0..worlds {
+                let mut world_rng = SmallRng::seed_from_u64(seed.wrapping_add(1000 + w as u64));
+                let phi = Realization::sample(&g, model, &mut world_rng);
+                let mut oracle = RealizationOracle::new(&g, phi);
+                let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(w as u64));
+                let started = std::time::Instant::now();
+                let report = if algo == "asti" {
+                    asti(&g, model, eta, &AstiParams::batched(eps, batch), &mut oracle, &mut rng)
+                } else {
+                    adapt_im(&g, model, eta, &AdaptImParams::with_eps(eps), &mut oracle, &mut rng)
+                }
+                .map_err(|e| e.to_string())?;
+                let secs = started.elapsed().as_secs_f64();
+                println!(
+                    "world {:>2}: {} seeds, {} rounds, spread {}, {:.3}s{}",
+                    w + 1,
+                    report.num_seeds(),
+                    report.num_rounds(),
+                    report.total_activated,
+                    secs,
+                    if report.reached { "" } else { "  [DID NOT REACH η]" }
+                );
+                total_seeds += report.num_seeds();
+                total_time += secs;
+            }
+            println!(
+                "mean: {:.1} seeds, {:.3}s",
+                total_seeds as f64 / worlds as f64,
+                total_time / worlds as f64
+            );
+        }
+        "ateuc" => {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let started = std::time::Instant::now();
+            let out = ateuc(&g, model, eta, &AteucParams::default(), &mut rng)
+                .map_err(|e| e.to_string())?;
+            let secs = started.elapsed().as_secs_f64();
+            println!(
+                "selected |S| = {} in {:.3}s (certified E[I(S)] ≥ η: {})",
+                out.seeds.len(),
+                secs,
+                out.certified
+            );
+            // evaluate on sampled worlds
+            let mut misses = 0usize;
+            for w in 0..worlds {
+                let mut world_rng = SmallRng::seed_from_u64(seed.wrapping_add(1000 + w as u64));
+                let phi = Realization::sample(&g, model, &mut world_rng);
+                let mut oracle = RealizationOracle::new(&g, phi);
+                oracle.observe(&out.seeds);
+                let spread = oracle.num_active();
+                if spread < eta {
+                    misses += 1;
+                }
+                println!(
+                    "world {:>2}: spread {spread}{}",
+                    w + 1,
+                    if spread < eta { "  [MISS]" } else { "" }
+                );
+            }
+            println!("missed η on {misses}/{worlds} worlds");
+        }
+        other => return Err(format!("unknown algorithm '{other}' (asti | adaptim | ateuc)")),
+    }
+    Ok(())
+}
+
+/// `asm convert`
+pub fn convert(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let [input, output] = f.positional.as_slice() else {
+        return Err("usage: asm convert <IN> <OUT>".into());
+    };
+    let g = load_graph(input)?;
+    save_graph(&g, output)?;
+    println!("converted {input} -> {output} ({} nodes, {} edges)", g.n(), g.m());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_model_parsing() {
+        assert_eq!(parse_weights("wc").unwrap(), WeightModel::WeightedCascade);
+        assert_eq!(parse_weights("uniform:0.1").unwrap(), WeightModel::Uniform(0.1));
+        assert_eq!(parse_weights("tri").unwrap(), WeightModel::Trivalency);
+        assert!(parse_weights("bogus").is_err());
+        assert!(parse_weights("uniform:x").is_err());
+    }
+
+    #[test]
+    fn generate_stats_run_roundtrip() {
+        let dir = std::env::temp_dir().join("smin_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        let path = path.to_str().unwrap().to_string();
+
+        let args: Vec<String> = [
+            "--kind", "chung-lu", "--n", "400", "--m", "1600", "--seed", "3", "--out", &path,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        generate(&args).unwrap();
+
+        stats(std::slice::from_ref(&path)).unwrap();
+
+        let run_args: Vec<String> = [
+            "--graph", &path, "--algo", "asti", "--eta", "40", "--worlds", "2", "--seed", "1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&run_args).unwrap();
+
+        let txt = dir.join("g.txt");
+        let txt = txt.to_str().unwrap().to_string();
+        convert(&[path.clone(), txt.clone()]).unwrap();
+        let g1 = load_graph(&path).unwrap();
+        let g2 = load_graph(&txt).unwrap();
+        assert_eq!(g1.m(), g2.m());
+    }
+
+    #[test]
+    fn run_rejects_conflicting_eta() {
+        let dir = std::env::temp_dir().join("smin_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g2.bin");
+        let path = path.to_str().unwrap().to_string();
+        let args: Vec<String> = ["--kind", "er", "--n", "50", "--m", "100", "--out", &path]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        generate(&args).unwrap();
+        let bad: Vec<String> = [
+            "--graph", &path, "--algo", "asti", "--eta", "5", "--eta-frac", "0.1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(run(&bad).is_err());
+    }
+}

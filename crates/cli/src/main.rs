@@ -1,0 +1,54 @@
+//! `asm` — command-line front end for the seedmin stack.
+//!
+//! ```text
+//! asm generate --kind chung-lu --n 10000 --m 50000 --out g.bin
+//! asm stats g.bin
+//! asm run --graph g.bin --algo asti --eta-frac 0.05 --model ic --worlds 5
+//! asm convert g.txt g.bin
+//! ```
+
+mod commands;
+mod flags;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+asm — adaptive seed minimization toolkit
+
+USAGE:
+  asm generate --kind <chung-lu|ba|er|ws> --n <N> [--m <M>] [--gamma F]
+               [--weights <wc|uniform:P|tri>] [--seed N] --out <FILE>
+  asm stats <GRAPH>
+  asm run --graph <GRAPH> --algo <asti|adaptim|ateuc> [--batch B]
+          (--eta N | --eta-frac F) [--model ic|lt] [--eps F] [--seed N]
+          [--worlds K]
+  asm convert <IN> <OUT>            # text <-> binary by extension (.bin)
+
+GRAPH files: '*.bin' = seedmin binary format, anything else = edge list
+(`u v [p]` per line, '#' comments).";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "generate" => commands::generate(rest),
+        "stats" => commands::stats(rest),
+        "run" => commands::run(rest),
+        "convert" => commands::convert(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! ASTI — Adaptive Seed minimization with Truncated Influence (Algorithm 1).
+//!
+//! The driver loop: each round select the (approximately) best node — or
+//! size-`b` batch — by expected marginal *truncated* spread on the residual
+//! graph, observe its actual influence through the oracle, remove the newly
+//! activated nodes, and repeat until `η` nodes are active.
+//!
+//! Instantiated with TRIM (batch 1) this is the paper's headline algorithm:
+//! expected approximation `(ln η + 1)²/((1 − 1/e)(1 − ε))` (Theorem 3.7) in
+//! `O(η(m + n)/ε² · ln n)` expected time (Theorem 3.11). With `b > 1`
+//! (TRIM-B) the ratio gains a `1/ρ_b` factor (Theorem 4.2) at the same
+//! asymptotic cost (Theorem 4.4).
+
+use crate::error::AsmError;
+use crate::params::AstiParams;
+use crate::report::{AstiReport, RoundReport};
+use crate::trim::{trim, TrimScratch};
+use crate::trim_b::trim_b;
+use rand::Rng;
+use smin_diffusion::{InfluenceOracle, Model, ResidualState};
+use smin_graph::Graph;
+use std::time::Instant;
+
+/// Runs ASTI until at least `eta` nodes are active according to `oracle`.
+///
+/// The oracle may arrive with activations already observed (warm start);
+/// those nodes are excluded from the residual graph and count toward `eta`.
+///
+/// # Errors
+/// * [`AsmError::EtaOutOfRange`] unless `1 ≤ eta ≤ n`;
+/// * [`AsmError::InvalidEps`] / [`AsmError::InvalidBatch`] for bad params;
+/// * [`AsmError::InvalidLtInstance`] if `model` is LT but some node's
+///   incoming probabilities exceed 1.
+pub fn asti(
+    g: &Graph,
+    model: Model,
+    eta: usize,
+    params: &AstiParams,
+    oracle: &mut impl InfluenceOracle,
+    rng: &mut impl Rng,
+) -> Result<AstiReport, AsmError> {
+    params.validate()?;
+    let n = g.n();
+    if n == 0 {
+        return Err(AsmError::EmptyGraph);
+    }
+    if eta == 0 || eta > n {
+        return Err(AsmError::EtaOutOfRange { eta, n });
+    }
+    if model == Model::LT {
+        for v in 0..n as u32 {
+            let mass = g.in_prob_sum(v);
+            if mass > 1.0 + 1e-9 {
+                return Err(AsmError::InvalidLtInstance { node: v, mass });
+            }
+        }
+    }
+
+    let mut residual = ResidualState::new(n);
+    for (u, &active) in oracle.active_mask().iter().enumerate() {
+        if active {
+            residual.kill(u as u32);
+        }
+    }
+
+    let mut scratch = TrimScratch::new(n);
+    let mut report = AstiReport {
+        seeds: Vec::new(),
+        rounds: Vec::new(),
+        total_activated: oracle.num_active(),
+        eta,
+        reached: oracle.num_active() >= eta,
+        total_select_time: std::time::Duration::ZERO,
+        total_sets: 0,
+    };
+
+    while oracle.num_active() < eta && residual.n_alive() > 0 {
+        let eta_i = eta - oracle.num_active();
+        let n_alive = residual.n_alive();
+
+        // Line 3: (approximate) truncated-influence maximization.
+        let started = Instant::now();
+        let (seeds, sets_generated, est) = if params.batch == 1 {
+            let out = trim(g, model, &mut residual, eta_i, &params.trim, &mut scratch, rng)?;
+            (vec![out.node], out.sets_generated, out.est_truncated_spread)
+        } else {
+            let out = trim_b(
+                g,
+                model,
+                &mut residual,
+                eta_i,
+                params.batch,
+                &params.trim,
+                &mut scratch,
+                rng,
+            )?;
+            (out.seeds, out.sets_generated, out.est_truncated_spread)
+        };
+        let select_time = started.elapsed();
+
+        // Lines 4–7: observe, record, shrink the residual graph. The seeds
+        // themselves are killed unconditionally: a well-behaved oracle
+        // reports them among the newly activated, but guarding here makes
+        // termination unconditional even against a misbehaving oracle (each
+        // round strictly shrinks the residual graph).
+        let newly = oracle.observe(&seeds);
+        residual.kill_all(&newly);
+        residual.kill_all(&seeds);
+
+        report.seeds.extend_from_slice(&seeds);
+        report.total_select_time += select_time;
+        report.total_sets += sets_generated;
+        report.rounds.push(RoundReport {
+            seeds,
+            newly_activated: newly.len(),
+            eta_i,
+            n_alive,
+            sets_generated,
+            est_truncated_spread: est,
+            select_time,
+        });
+    }
+
+    report.total_activated = oracle.num_active();
+    report.reached = report.total_activated >= eta;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use smin_diffusion::{Realization, RealizationOracle, SimulationOracle};
+    use smin_graph::GraphBuilder;
+
+    fn chain(n: usize, p: f64) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..(n - 1) as u32 {
+            b.add_edge_p(u, u + 1, p).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reaches_threshold_on_deterministic_chain() {
+        // p = 1 chain: seeding node 0 activates everything in one round.
+        let g = chain(10, 1.0);
+        let params = AstiParams::with_eps(0.5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let phi = Realization::sample(&g, Model::IC, &mut rng);
+        let mut oracle = RealizationOracle::new(&g, phi);
+        let report = asti(&g, Model::IC, 10, &params, &mut oracle, &mut rng).unwrap();
+        assert!(report.reached);
+        assert_eq!(report.total_activated, 10);
+        assert_eq!(report.num_seeds(), 1);
+        assert_eq!(report.seeds, vec![0]);
+    }
+
+    #[test]
+    fn stops_as_soon_as_threshold_met() {
+        let g = chain(10, 1.0);
+        let params = AstiParams::with_eps(0.5);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let phi = Realization::sample(&g, Model::IC, &mut rng);
+        let mut oracle = RealizationOracle::new(&g, phi);
+        let report = asti(&g, Model::IC, 3, &params, &mut oracle, &mut rng).unwrap();
+        assert!(report.reached);
+        assert_eq!(report.num_rounds(), 1);
+        assert!(report.total_activated >= 3);
+    }
+
+    #[test]
+    fn isolated_nodes_need_one_seed_each() {
+        // No edges: every seed activates exactly itself.
+        let g = GraphBuilder::new(5).build().unwrap();
+        let params = AstiParams::with_eps(0.5);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let phi = Realization::sample(&g, Model::IC, &mut rng);
+        let mut oracle = RealizationOracle::new(&g, phi);
+        let report = asti(&g, Model::IC, 4, &params, &mut oracle, &mut rng).unwrap();
+        assert!(report.reached);
+        assert_eq!(report.num_seeds(), 4);
+        assert_eq!(report.total_activated, 4);
+    }
+
+    #[test]
+    fn always_feasible_on_every_realization() {
+        // Random graph, every realization: the adaptive policy must reach η
+        // exactly (the defining advantage over non-adaptive ATEUC).
+        let mut rng = SmallRng::seed_from_u64(4);
+        let pairs = smin_graph::generators::erdos_renyi(40, 80, &mut rng);
+        let g = smin_graph::generators::assemble(
+            40,
+            &pairs,
+            true,
+            smin_graph::WeightModel::WeightedCascade,
+            &mut rng,
+        )
+        .unwrap();
+        let params = AstiParams::with_eps(0.5);
+        for seed in 0..10u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let phi = Realization::sample(&g, Model::IC, &mut rng);
+            let mut oracle = RealizationOracle::new(&g, phi);
+            let report = asti(&g, Model::IC, 20, &params, &mut oracle, &mut rng).unwrap();
+            assert!(report.reached, "seed {seed} failed to reach η");
+            assert!(report.total_activated >= 20);
+        }
+    }
+
+    #[test]
+    fn batched_runs_use_fewer_rounds() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let pairs = smin_graph::generators::erdos_renyi(60, 120, &mut rng);
+        let g = smin_graph::generators::assemble(
+            60,
+            &pairs,
+            true,
+            smin_graph::WeightModel::WeightedCascade,
+            &mut rng,
+        )
+        .unwrap();
+        let eta = 30;
+        let mut seeds1 = 0usize;
+        let mut rounds4 = Vec::new();
+        let mut rounds1 = Vec::new();
+        for seed in 0..5u64 {
+            let mut rng = SmallRng::seed_from_u64(100 + seed);
+            let phi = Realization::sample(&g, Model::IC, &mut rng);
+            let mut o1 = RealizationOracle::new(&g, phi.clone());
+            let r1 = asti(&g, Model::IC, eta, &AstiParams::with_eps(0.5), &mut o1, &mut rng).unwrap();
+            let mut o4 = RealizationOracle::new(&g, phi);
+            let r4 = asti(&g, Model::IC, eta, &AstiParams::batched(0.5, 4), &mut o4, &mut rng).unwrap();
+            assert!(r1.reached && r4.reached);
+            seeds1 += r1.num_seeds();
+            rounds1.push(r1.num_rounds());
+            rounds4.push(r4.num_rounds());
+        }
+        let sum1: usize = rounds1.iter().sum();
+        let sum4: usize = rounds4.iter().sum();
+        assert!(sum4 < sum1, "batch 4 should use fewer rounds ({sum4} vs {sum1})");
+        assert!(seeds1 > 0);
+    }
+
+    #[test]
+    fn works_with_simulation_oracle() {
+        let g = chain(8, 0.9);
+        let params = AstiParams::with_eps(0.5);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut oracle = SimulationOracle::new(&g, Model::IC, SmallRng::seed_from_u64(7));
+        let report = asti(&g, Model::IC, 6, &params, &mut oracle, &mut rng).unwrap();
+        assert!(report.reached);
+        assert!(report.total_activated >= 6);
+    }
+
+    #[test]
+    fn warm_start_respects_prior_activations() {
+        let g = chain(10, 1.0);
+        let params = AstiParams::with_eps(0.5);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let phi = Realization::sample(&g, Model::IC, &mut rng);
+        let mut oracle = RealizationOracle::new(&g, phi);
+        // Pre-activate the tail half.
+        oracle.observe(&[5]);
+        assert_eq!(oracle.num_active(), 5);
+        let report = asti(&g, Model::IC, 7, &params, &mut oracle, &mut rng).unwrap();
+        assert!(report.reached);
+        // Needed at most one more seed (node 0 activates the remaining head).
+        assert!(report.num_seeds() <= 2);
+    }
+
+    #[test]
+    fn eta_validation() {
+        let g = chain(5, 1.0);
+        let params = AstiParams::with_eps(0.5);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let phi = Realization::sample(&g, Model::IC, &mut rng);
+        let mut oracle = RealizationOracle::new(&g, phi.clone());
+        assert!(matches!(
+            asti(&g, Model::IC, 0, &params, &mut oracle, &mut rng),
+            Err(AsmError::EtaOutOfRange { .. })
+        ));
+        let mut oracle = RealizationOracle::new(&g, phi);
+        assert!(matches!(
+            asti(&g, Model::IC, 6, &params, &mut oracle, &mut rng),
+            Err(AsmError::EtaOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn lt_instance_validation() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge_p(0, 1, 0.8).unwrap();
+        b.add_edge_p(1, 0, 0.8).unwrap();
+        // make node 1 oversubscribed
+        let mut b2 = GraphBuilder::new(3);
+        b2.add_edge_p(0, 2, 0.8).unwrap();
+        b2.add_edge_p(1, 2, 0.8).unwrap();
+        let g = b2.build().unwrap();
+        let params = AstiParams::with_eps(0.5);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut oracle = SimulationOracle::new(&g, Model::LT, SmallRng::seed_from_u64(11));
+        assert!(matches!(
+            asti(&g, Model::LT, 2, &params, &mut oracle, &mut rng),
+            Err(AsmError::InvalidLtInstance { node: 2, .. })
+        ));
+        drop(b);
+    }
+
+    #[test]
+    fn round_reports_are_consistent() {
+        let g = chain(12, 0.7);
+        let params = AstiParams::with_eps(0.5);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let phi = Realization::sample(&g, Model::IC, &mut rng);
+        let mut oracle = RealizationOracle::new(&g, phi);
+        let report = asti(&g, Model::IC, 8, &params, &mut oracle, &mut rng).unwrap();
+        let total_new: usize = report.rounds.iter().map(|r| r.newly_activated).sum();
+        assert_eq!(total_new, report.total_activated);
+        let total_seeds: usize = report.rounds.iter().map(|r| r.seeds.len()).sum();
+        assert_eq!(total_seeds, report.num_seeds());
+        // eta_i strictly decreases round over round
+        for w in report.rounds.windows(2) {
+            assert!(w[1].eta_i < w[0].eta_i);
+            assert!(w[1].n_alive < w[0].n_alive);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Error type for the algorithm crate.
+
+use std::fmt;
+
+/// Errors surfaced by the seed-minimization algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AsmError {
+    /// `η` must lie in `[1, n]` (Definition 2.1).
+    EtaOutOfRange { eta: usize, n: usize },
+    /// `ε` must lie strictly inside `(0, 1)`.
+    InvalidEps(f64),
+    /// Batch size must be at least 1.
+    InvalidBatch(usize),
+    /// The LT model requires incoming probabilities to sum to at most 1.
+    InvalidLtInstance { node: u32, mass: f64 },
+    /// The graph has no nodes.
+    EmptyGraph,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::EtaOutOfRange { eta, n } => {
+                write!(f, "threshold η = {eta} outside [1, n = {n}]")
+            }
+            AsmError::InvalidEps(e) => write!(f, "ε = {e} outside (0, 1)"),
+            AsmError::InvalidBatch(b) => write!(f, "batch size {b} must be ≥ 1"),
+            AsmError::InvalidLtInstance { node, mass } => {
+                write!(f, "node {node} has incoming probability mass {mass} > 1 under LT")
+            }
+            AsmError::EmptyGraph => write!(f, "graph has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}

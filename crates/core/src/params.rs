@@ -1,0 +1,116 @@
+//! Tunable parameters for TRIM / TRIM-B / ASTI.
+
+use crate::error::AsmError;
+use smin_sampling::RootCountDist;
+
+/// Parameters of one TRIM (or TRIM-B) invocation.
+#[derive(Clone, Copy, Debug)]
+pub struct TrimParams {
+    /// Approximation slack `ε ∈ (0, 1)`; the paper's experiments use 0.5.
+    pub eps: f64,
+    /// Root-count distribution for mRR sets (the randomized rounding of
+    /// §3.3 by default; fixed variants exist for the ablation bench).
+    pub root_dist: RootCountDist,
+    /// Optional hard cap on the number of mRR sets per round. `None` uses
+    /// the theoretical `θ_max`; tests and interactive examples may cap to
+    /// bound worst-case latency (forfeiting the formal guarantee for that
+    /// round).
+    pub theta_cap: Option<usize>,
+}
+
+impl TrimParams {
+    /// Paper defaults with the given `ε`.
+    pub fn with_eps(eps: f64) -> Self {
+        TrimParams {
+            eps,
+            root_dist: RootCountDist::Randomized,
+            theta_cap: None,
+        }
+    }
+
+    /// Validates `ε`.
+    pub fn validate(&self) -> Result<(), AsmError> {
+        if !(self.eps > 0.0 && self.eps < 1.0) {
+            return Err(AsmError::InvalidEps(self.eps));
+        }
+        Ok(())
+    }
+}
+
+impl Default for TrimParams {
+    fn default() -> Self {
+        TrimParams::with_eps(0.5)
+    }
+}
+
+/// Parameters of an ASTI run.
+#[derive(Clone, Copy, Debug)]
+pub struct AstiParams {
+    /// Per-round TRIM parameters.
+    pub trim: TrimParams,
+    /// Seeds per round: 1 instantiates TRIM, `b > 1` instantiates TRIM-B
+    /// (ASTI-b in the experiments).
+    pub batch: usize,
+}
+
+impl AstiParams {
+    /// Sequential ASTI (batch 1) with the given `ε`.
+    pub fn with_eps(eps: f64) -> Self {
+        AstiParams {
+            trim: TrimParams::with_eps(eps),
+            batch: 1,
+        }
+    }
+
+    /// Batched ASTI-b.
+    pub fn batched(eps: f64, batch: usize) -> Self {
+        AstiParams {
+            trim: TrimParams::with_eps(eps),
+            batch,
+        }
+    }
+
+    /// Validates all fields.
+    pub fn validate(&self) -> Result<(), AsmError> {
+        self.trim.validate()?;
+        if self.batch == 0 {
+            return Err(AsmError::InvalidBatch(0));
+        }
+        Ok(())
+    }
+}
+
+impl Default for AstiParams {
+    fn default() -> Self {
+        AstiParams::with_eps(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = AstiParams::default();
+        assert_eq!(p.trim.eps, 0.5);
+        assert_eq!(p.batch, 1);
+        assert_eq!(p.trim.root_dist, RootCountDist::Randomized);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_eps() {
+        assert!(TrimParams::with_eps(0.0).validate().is_err());
+        assert!(TrimParams::with_eps(1.0).validate().is_err());
+        assert!(TrimParams::with_eps(-0.5).validate().is_err());
+        assert!(TrimParams::with_eps(f64::NAN).validate().is_err());
+        assert!(TrimParams::with_eps(0.99).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_zero_batch() {
+        let p = AstiParams { batch: 0, ..Default::default() };
+        assert!(matches!(p.validate(), Err(AsmError::InvalidBatch(0))));
+    }
+}

@@ -1,0 +1,34 @@
+//! # smin-diffusion
+//!
+//! Influence propagation substrate (§2.1–2.3 of the paper):
+//!
+//! * [`Model`] — the independent cascade (IC) and linear threshold (LT)
+//!   diffusion models;
+//! * [`Realization`] — live-edge samples `ϕ ∈ Ω` of a probabilistic graph,
+//!   the paper's possible-world semantics;
+//! * [`forward`] — spread computation `I_ϕ(S)` on a realization, restricted
+//!   marginal spread `I_ϕ(S | S_{i−1})`, and fresh-coin simulation;
+//! * [`spread`] — Monte-Carlo estimation of `E[I(S)]` and `E[Γ(S)]`;
+//! * [`exact`] — exact expectations by realization enumeration (tiny graphs,
+//!   used to validate Theorem 3.3 and Example 2.3);
+//! * [`ResidualState`] — the residual graph `G_i` as an O(1)-update alive
+//!   mask with uniform k-distinct sampling, shared by the samplers;
+//! * [`oracle`] — the select→observe interface of Algorithm 1, with a
+//!   fixed-realization implementation (experiment protocol) and a lazily
+//!   sampled one (simulation deployments).
+
+pub mod exact;
+pub mod forward;
+pub mod log;
+pub mod model;
+pub mod oracle;
+pub mod realization;
+pub mod residual;
+pub mod spread;
+
+pub use forward::ForwardSim;
+pub use log::{LoggingOracle, ObservationLog, ObservationStep, ReplayOracle};
+pub use model::Model;
+pub use oracle::{InfluenceOracle, RealizationOracle, SimulationOracle};
+pub use realization::Realization;
+pub use residual::ResidualState;

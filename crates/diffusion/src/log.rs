@@ -1,0 +1,284 @@
+//! Observation logs: record and replay the select→observe history of an
+//! adaptive campaign.
+//!
+//! A real deployment can't resample its world — once a batch is seeded the
+//! observed cascade is a fact. [`LoggingOracle`] wraps any oracle and records
+//! each interaction; [`ReplayOracle`] plays a recorded log back, which makes
+//! adaptive runs auditable and exactly reproducible without access to the
+//! original world (or the RNG state that produced it).
+
+use crate::oracle::InfluenceOracle;
+use smin_graph::NodeId;
+
+/// One observe step: the seeds submitted and the nodes that lit up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObservationStep {
+    /// Seeds submitted in this step.
+    pub seeds: Vec<NodeId>,
+    /// Newly activated nodes returned by the world.
+    pub activated: Vec<NodeId>,
+}
+
+/// A full campaign history.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ObservationLog {
+    /// Number of nodes in the graph the log was recorded against.
+    pub n: usize,
+    /// Steps in submission order.
+    pub steps: Vec<ObservationStep>,
+}
+
+impl ObservationLog {
+    /// Total nodes activated across all steps.
+    pub fn total_activated(&self) -> usize {
+        self.steps.iter().map(|s| s.activated.len()).sum()
+    }
+
+    /// All seeds in submission order.
+    pub fn seeds(&self) -> Vec<NodeId> {
+        self.steps.iter().flat_map(|s| s.seeds.iter().copied()).collect()
+    }
+
+    /// Serializes to a simple line format (`S u1 u2 | A v1 v2` per step).
+    pub fn to_text(&self) -> String {
+        let mut out = format!("# observation log, n = {}\n", self.n);
+        for step in &self.steps {
+            out.push('S');
+            for s in &step.seeds {
+                out.push_str(&format!(" {s}"));
+            }
+            out.push_str(" | A");
+            for a in &step.activated {
+                out.push_str(&format!(" {a}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the format written by [`Self::to_text`].
+    pub fn from_text(text: &str) -> Result<ObservationLog, String> {
+        let mut log = ObservationLog::default();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                if let Some(n) = rest.split("n =").nth(1) {
+                    log.n = n
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("line {}: bad n: {e}", i + 1))?;
+                }
+                continue;
+            }
+            let body = line
+                .strip_prefix('S')
+                .ok_or_else(|| format!("line {}: expected 'S ... | A ...'", i + 1))?;
+            let (seeds, activated) = body
+                .split_once("| A")
+                .ok_or_else(|| format!("line {}: missing '| A'", i + 1))?;
+            let parse_ids = |s: &str| -> Result<Vec<NodeId>, String> {
+                s.split_whitespace()
+                    .map(|t| t.parse::<NodeId>().map_err(|e| format!("line {}: {e}", i + 1)))
+                    .collect()
+            };
+            log.steps.push(ObservationStep {
+                seeds: parse_ids(seeds)?,
+                activated: parse_ids(activated)?,
+            });
+        }
+        Ok(log)
+    }
+}
+
+/// Wraps an oracle, recording every interaction.
+pub struct LoggingOracle<O: InfluenceOracle> {
+    inner: O,
+    log: ObservationLog,
+}
+
+impl<O: InfluenceOracle> LoggingOracle<O> {
+    /// Starts recording on top of `inner`.
+    pub fn new(inner: O, n: usize) -> Self {
+        LoggingOracle {
+            inner,
+            log: ObservationLog { n, steps: Vec::new() },
+        }
+    }
+
+    /// The recorded history so far.
+    pub fn log(&self) -> &ObservationLog {
+        &self.log
+    }
+
+    /// Consumes the wrapper, returning the log and the inner oracle.
+    pub fn into_parts(self) -> (ObservationLog, O) {
+        (self.log, self.inner)
+    }
+}
+
+impl<O: InfluenceOracle> InfluenceOracle for LoggingOracle<O> {
+    fn observe(&mut self, seeds: &[NodeId]) -> Vec<NodeId> {
+        let activated = self.inner.observe(seeds);
+        self.log.steps.push(ObservationStep {
+            seeds: seeds.to_vec(),
+            activated: activated.clone(),
+        });
+        activated
+    }
+
+    fn active_mask(&self) -> &[bool] {
+        self.inner.active_mask()
+    }
+
+    fn num_active(&self) -> usize {
+        self.inner.num_active()
+    }
+}
+
+/// Replays a recorded log. Each `observe` must submit exactly the seeds of
+/// the next recorded step (the usual case: re-driving the same policy with
+/// the same RNG seed); mismatches produce a panic with a precise diagnostic
+/// rather than silently diverging.
+pub struct ReplayOracle {
+    log: ObservationLog,
+    next: usize,
+    active: Vec<bool>,
+    num_active: usize,
+}
+
+impl ReplayOracle {
+    /// Prepares a replay of `log`.
+    pub fn new(log: ObservationLog) -> Self {
+        let n = log.n;
+        ReplayOracle {
+            log,
+            next: 0,
+            active: vec![false; n],
+            num_active: 0,
+        }
+    }
+
+    /// Steps remaining.
+    pub fn remaining(&self) -> usize {
+        self.log.steps.len() - self.next
+    }
+}
+
+impl InfluenceOracle for ReplayOracle {
+    fn observe(&mut self, seeds: &[NodeId]) -> Vec<NodeId> {
+        let step = self
+            .log
+            .steps
+            .get(self.next)
+            .unwrap_or_else(|| panic!("replay exhausted after {} steps", self.next));
+        assert_eq!(
+            seeds, &step.seeds[..],
+            "replay divergence at step {}: submitted {seeds:?}, recorded {:?}",
+            self.next, step.seeds
+        );
+        self.next += 1;
+        for &a in &step.activated {
+            if !self.active[a as usize] {
+                self.active[a as usize] = true;
+                self.num_active += 1;
+            }
+        }
+        step.activated.clone()
+    }
+
+    fn active_mask(&self) -> &[bool] {
+        &self.active
+    }
+
+    fn num_active(&self) -> usize {
+        self.num_active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::RealizationOracle;
+    use crate::realization::Realization;
+    use smin_graph::GraphBuilder;
+
+    fn path3() -> smin_graph::Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_p(0, 1, 1.0).unwrap();
+        b.add_edge_p(1, 2, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn logging_records_interactions() {
+        let g = path3();
+        let phi = Realization::from_ic_statuses(vec![true, false]);
+        let inner = RealizationOracle::new(&g, phi);
+        let mut oracle = LoggingOracle::new(inner, 3);
+        oracle.observe(&[0]);
+        oracle.observe(&[2]);
+        let (log, _) = oracle.into_parts();
+        assert_eq!(log.steps.len(), 2);
+        assert_eq!(log.steps[0].seeds, vec![0]);
+        assert_eq!(log.total_activated(), 3);
+        assert_eq!(log.seeds(), vec![0, 2]);
+    }
+
+    #[test]
+    fn replay_reproduces_the_run() {
+        let g = path3();
+        let phi = Realization::from_ic_statuses(vec![true, true]);
+        let mut rec = LoggingOracle::new(RealizationOracle::new(&g, phi), 3);
+        let first = rec.observe(&[0]);
+        let (log, _) = rec.into_parts();
+
+        let mut replay = ReplayOracle::new(log);
+        assert_eq!(replay.remaining(), 1);
+        let replayed = replay.observe(&[0]);
+        assert_eq!(replayed, first);
+        assert_eq!(replay.num_active(), 3);
+        assert_eq!(replay.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay divergence")]
+    fn replay_detects_divergence() {
+        let log = ObservationLog {
+            n: 3,
+            steps: vec![ObservationStep { seeds: vec![0], activated: vec![0] }],
+        };
+        let mut replay = ReplayOracle::new(log);
+        let _ = replay.observe(&[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay exhausted")]
+    fn replay_detects_exhaustion() {
+        let mut replay = ReplayOracle::new(ObservationLog { n: 2, steps: vec![] });
+        let _ = replay.observe(&[0]);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let log = ObservationLog {
+            n: 5,
+            steps: vec![
+                ObservationStep { seeds: vec![1, 2], activated: vec![1, 2, 4] },
+                ObservationStep { seeds: vec![0], activated: vec![0] },
+            ],
+        };
+        let text = log.to_text();
+        let back = ObservationLog::from_text(&text).unwrap();
+        assert_eq!(log, back);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(ObservationLog::from_text("S 1 2 3").is_err());
+        assert!(ObservationLog::from_text("X 1 | A 2").is_err());
+        assert!(ObservationLog::from_text("S x | A 2").is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! The residual graph `G_i` (§2.3) as a mutable alive-mask over the base
+//! graph.
+//!
+//! After each adaptive round the nodes activated so far are removed;
+//! `G_{i+1}` is the subgraph induced by the survivors. Rather than rebuilding
+//! CSR arrays every round, [`ResidualState`] keeps:
+//!
+//! * `alive: Vec<bool>` — consulted by reverse BFS to skip dead nodes;
+//! * a dense `alive_nodes` permutation with back-pointers — O(1) kill and
+//!   O(k) uniform sampling of k *distinct* roots (partial Fisher–Yates),
+//!   exactly what mRR-set generation needs.
+
+use rand::Rng;
+use smin_graph::NodeId;
+
+/// Alive/dead bookkeeping for the residual graph.
+#[derive(Clone, Debug)]
+pub struct ResidualState {
+    alive: Vec<bool>,
+    /// Dense list of alive nodes (order unspecified).
+    alive_nodes: Vec<NodeId>,
+    /// `pos[u]` = index of `u` in `alive_nodes` (valid only while alive).
+    pos: Vec<u32>,
+}
+
+impl ResidualState {
+    /// All `n` nodes alive.
+    pub fn new(n: usize) -> Self {
+        ResidualState {
+            alive: vec![true; n],
+            alive_nodes: (0..n as NodeId).collect(),
+            pos: (0..n as u32).collect(),
+        }
+    }
+
+    /// Number of alive nodes `n_i`.
+    #[inline]
+    pub fn n_alive(&self) -> usize {
+        self.alive_nodes.len()
+    }
+
+    /// Whether `u` is still alive (inactive).
+    #[inline]
+    pub fn is_alive(&self, u: NodeId) -> bool {
+        self.alive[u as usize]
+    }
+
+    /// Read-only alive mask (for BFS loops).
+    #[inline]
+    pub fn alive_mask(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// The alive nodes in unspecified order.
+    #[inline]
+    pub fn alive_nodes(&self) -> &[NodeId] {
+        &self.alive_nodes
+    }
+
+    /// Removes `u` (just activated). No-op if already dead.
+    pub fn kill(&mut self, u: NodeId) {
+        if !self.alive[u as usize] {
+            return;
+        }
+        self.alive[u as usize] = false;
+        let i = self.pos[u as usize] as usize;
+        let last = *self.alive_nodes.last().expect("alive list cannot be empty here");
+        self.alive_nodes.swap_remove(i);
+        if last != u {
+            self.pos[last as usize] = i as u32;
+        }
+    }
+
+    /// Removes every node in `nodes`.
+    pub fn kill_all(&mut self, nodes: &[NodeId]) {
+        for &u in nodes {
+            self.kill(u);
+        }
+    }
+
+    /// Samples one alive node uniformly. Panics if none are alive.
+    pub fn sample_alive(&self, rng: &mut impl Rng) -> NodeId {
+        self.alive_nodes[rng.random_range(0..self.alive_nodes.len())]
+    }
+
+    /// Samples `k` *distinct* alive nodes uniformly into `out` via partial
+    /// Fisher–Yates on the dense list (the internal order is permuted, which
+    /// is harmless). Panics if `k > n_alive`.
+    pub fn sample_k_distinct(&mut self, k: usize, rng: &mut impl Rng, out: &mut Vec<NodeId>) {
+        assert!(
+            k <= self.alive_nodes.len(),
+            "cannot sample {k} distinct nodes from {} alive",
+            self.alive_nodes.len()
+        );
+        out.clear();
+        for i in 0..k {
+            let j = rng.random_range(i..self.alive_nodes.len());
+            self.alive_nodes.swap(i, j);
+            let (a, b) = (self.alive_nodes[i], self.alive_nodes[j]);
+            self.pos[a as usize] = i as u32;
+            self.pos[b as usize] = j as u32;
+            out.push(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kill_updates_counts_and_mask() {
+        let mut r = ResidualState::new(5);
+        assert_eq!(r.n_alive(), 5);
+        r.kill(2);
+        assert_eq!(r.n_alive(), 4);
+        assert!(!r.is_alive(2));
+        assert!(r.is_alive(0));
+        r.kill(2); // idempotent
+        assert_eq!(r.n_alive(), 4);
+    }
+
+    #[test]
+    fn kill_all_and_list_consistency() {
+        let mut r = ResidualState::new(6);
+        r.kill_all(&[0, 5, 3]);
+        assert_eq!(r.n_alive(), 3);
+        let mut alive: Vec<_> = r.alive_nodes().to_vec();
+        alive.sort_unstable();
+        assert_eq!(alive, vec![1, 2, 4]);
+        for &u in r.alive_nodes() {
+            assert!(r.is_alive(u));
+        }
+    }
+
+    #[test]
+    fn sample_k_distinct_properties() {
+        let mut r = ResidualState::new(10);
+        r.kill_all(&[0, 1, 2]);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            r.sample_k_distinct(4, &mut rng, &mut out);
+            assert_eq!(out.len(), 4);
+            let mut s = out.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 4, "samples must be distinct");
+            assert!(out.iter().all(|&u| r.is_alive(u)));
+        }
+    }
+
+    #[test]
+    fn sample_k_distinct_is_uniform() {
+        let mut r = ResidualState::new(5);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut out = Vec::new();
+        let mut counts = [0usize; 5];
+        let trials = 50_000;
+        for _ in 0..trials {
+            r.sample_k_distinct(2, &mut rng, &mut out);
+            for &u in &out {
+                counts[u as usize] += 1;
+            }
+        }
+        // each node appears with probability 2/5
+        for (u, &c) in counts.iter().enumerate() {
+            let rate = c as f64 / trials as f64;
+            assert!((rate - 0.4).abs() < 0.02, "node {u}: rate = {rate}");
+        }
+    }
+
+    #[test]
+    fn kill_after_sampling_stays_consistent() {
+        let mut r = ResidualState::new(8);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut out = Vec::new();
+        r.sample_k_distinct(3, &mut rng, &mut out);
+        let victim = out[0];
+        r.kill(victim);
+        assert!(!r.is_alive(victim));
+        assert_eq!(r.n_alive(), 7);
+        // the dense list no longer contains the victim
+        assert!(!r.alive_nodes().contains(&victim));
+        // and sampling still returns alive nodes only
+        for _ in 0..50 {
+            r.sample_k_distinct(5, &mut rng, &mut out);
+            assert!(out.iter().all(|&u| r.is_alive(u)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversample_panics() {
+        let mut r = ResidualState::new(3);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        r.sample_k_distinct(4, &mut rng, &mut out);
+    }
+}

@@ -1,0 +1,290 @@
+//! Immutable CSR graph with forward and reverse adjacency.
+//!
+//! Reverse adjacency is first-class because reverse reachable set sampling
+//! (the hot path of TRIM) traverses incoming edges. Each reverse slot also
+//! records the *forward edge index* of the same edge so that edge-level state
+//! (e.g. live/blocked status in an IC realization) can be shared between the
+//! two directions.
+
+/// Node identifier. Graphs are limited to `u32::MAX` nodes, which covers the
+/// largest dataset in the paper (LiveJournal, 4.85M nodes) with room to spare
+/// while halving index memory compared to `usize`.
+pub type NodeId = u32;
+
+/// A directed probabilistic graph in compressed-sparse-row form.
+///
+/// Construction goes through [`GraphBuilder`](crate::GraphBuilder); the
+/// resulting graph is immutable. Edges within a node's adjacency are sorted by
+/// neighbor id and deduplicated according to the builder's policy.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    n: usize,
+    fwd_off: Vec<usize>,
+    fwd_dst: Vec<NodeId>,
+    fwd_prob: Vec<f64>,
+    rev_off: Vec<usize>,
+    rev_src: Vec<NodeId>,
+    rev_prob: Vec<f64>,
+    /// For reverse slot `i`, the forward edge index of the same edge.
+    rev_edge_id: Vec<u32>,
+}
+
+impl Graph {
+    /// Assembles a graph from already-sorted CSR arrays. Used by the builder;
+    /// not public because it does not validate invariants.
+    pub(crate) fn from_csr(
+        n: usize,
+        fwd_off: Vec<usize>,
+        fwd_dst: Vec<NodeId>,
+        fwd_prob: Vec<f64>,
+    ) -> Self {
+        let m = fwd_dst.len();
+        debug_assert_eq!(fwd_off.len(), n + 1);
+        debug_assert_eq!(fwd_prob.len(), m);
+
+        // Build the reverse CSR with a counting pass.
+        let mut rev_off = vec![0usize; n + 1];
+        for &v in &fwd_dst {
+            rev_off[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            rev_off[i + 1] += rev_off[i];
+        }
+        let mut cursor = rev_off.clone();
+        let mut rev_src = vec![0 as NodeId; m];
+        let mut rev_prob = vec![0.0f64; m];
+        let mut rev_edge_id = vec![0u32; m];
+        for u in 0..n {
+            for e in fwd_off[u]..fwd_off[u + 1] {
+                let v = fwd_dst[e] as usize;
+                let slot = cursor[v];
+                cursor[v] += 1;
+                rev_src[slot] = u as NodeId;
+                rev_prob[slot] = fwd_prob[e];
+                rev_edge_id[slot] = e as u32;
+            }
+        }
+
+        Graph {
+            n,
+            fwd_off,
+            fwd_dst,
+            fwd_prob,
+            rev_off,
+            rev_src,
+            rev_prob,
+            rev_edge_id,
+        }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges `m`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.fwd_dst.len()
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        let u = u as usize;
+        self.fwd_off[u + 1] - self.fwd_off[u]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.rev_off[v + 1] - self.rev_off[v]
+    }
+
+    /// Outgoing neighbors of `u` with propagation probabilities, sorted by id.
+    #[inline]
+    pub fn out_edges(&self, u: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let u = u as usize;
+        let r = self.fwd_off[u]..self.fwd_off[u + 1];
+        self.fwd_dst[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.fwd_prob[r].iter().copied())
+    }
+
+    /// Outgoing neighbors of `u` together with the forward edge index.
+    #[inline]
+    pub fn out_edges_indexed(&self, u: NodeId) -> impl Iterator<Item = (u32, NodeId, f64)> + '_ {
+        let u = u as usize;
+        let r = self.fwd_off[u]..self.fwd_off[u + 1];
+        r.clone()
+            .map(|e| e as u32)
+            .zip(self.fwd_dst[r.clone()].iter().copied())
+            .zip(self.fwd_prob[r].iter().copied())
+            .map(|((e, v), p)| (e, v, p))
+    }
+
+    /// Incoming neighbors of `v`: `(source, probability, forward edge index)`.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64, u32)> + '_ {
+        let v = v as usize;
+        let r = self.rev_off[v]..self.rev_off[v + 1];
+        self.rev_src[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.rev_prob[r.clone()].iter().copied())
+            .zip(self.rev_edge_id[r].iter().copied())
+            .map(|((u, p), e)| (u, p, e))
+    }
+
+    /// Probability attached to forward edge index `e`.
+    #[inline]
+    pub fn edge_prob(&self, e: u32) -> f64 {
+        self.fwd_prob[e as usize]
+    }
+
+    /// Destination of forward edge index `e`.
+    #[inline]
+    pub fn edge_dst(&self, e: u32) -> NodeId {
+        self.fwd_dst[e as usize]
+    }
+
+    /// Iterates every edge as `(u, v, p)` in forward CSR order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.out_edges(u as NodeId)
+                .map(move |(v, p)| (u as NodeId, v, p))
+        })
+    }
+
+    /// Returns whether the directed edge `⟨u, v⟩` exists (binary search).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let r = self.fwd_off[u as usize]..self.fwd_off[u as usize + 1];
+        self.fwd_dst[r].binary_search(&v).is_ok()
+    }
+
+    /// Sum of incoming probabilities of `v`; the LT model requires this to be
+    /// at most 1 for every node.
+    pub fn in_prob_sum(&self, v: NodeId) -> f64 {
+        self.in_edges(v).map(|(_, p, _)| p).sum()
+    }
+
+    /// `true` when every node's incoming probabilities sum to at most
+    /// `1 + 1e-9` (tolerance for floating point accumulation), i.e. the graph
+    /// is a valid LT instance.
+    pub fn is_valid_lt(&self) -> bool {
+        (0..self.n).all(|v| self.in_prob_sum(v as NodeId) <= 1.0 + 1e-9)
+    }
+
+    /// Replaces every edge probability via `f(u, v, current)` keeping the
+    /// structure; used by [`weights`](crate::weights) to apply weight models.
+    pub fn map_probabilities(&self, mut f: impl FnMut(NodeId, NodeId, f64) -> f64) -> Graph {
+        let mut fwd_prob = Vec::with_capacity(self.m());
+        for u in 0..self.n {
+            for e in self.fwd_off[u]..self.fwd_off[u + 1] {
+                fwd_prob.push(f(u as NodeId, self.fwd_dst[e], self.fwd_prob[e]));
+            }
+        }
+        Graph::from_csr(
+            self.n,
+            self.fwd_off.clone(),
+            self.fwd_dst.clone(),
+            fwd_prob,
+        )
+    }
+
+    /// Memory footprint of the CSR arrays in bytes (diagnostics).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.fwd_off.len() * size_of::<usize>() * 2
+            + self.fwd_dst.len() * (size_of::<NodeId>() * 2 + size_of::<f64>() * 2 + size_of::<u32>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+
+    fn diamond() -> crate::Graph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge_p(0, 1, 0.5).unwrap();
+        b.add_edge_p(0, 2, 0.25).unwrap();
+        b.add_edge_p(1, 3, 1.0).unwrap();
+        b.add_edge_p(2, 3, 0.75).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = diamond();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn adjacency_sorted_and_probs_attached() {
+        let g = diamond();
+        let out0: Vec<_> = g.out_edges(0).collect();
+        assert_eq!(out0, vec![(1, 0.5), (2, 0.25)]);
+        let in3: Vec<_> = g.in_edges(3).map(|(u, p, _)| (u, p)).collect();
+        assert_eq!(in3, vec![(1, 1.0), (2, 0.75)]);
+    }
+
+    #[test]
+    fn rev_edge_ids_point_back_to_forward_edges() {
+        let g = diamond();
+        for v in 0..4u32 {
+            for (u, p, e) in g.in_edges(v) {
+                assert_eq!(g.edge_dst(e), v);
+                assert_eq!(g.edge_prob(e), p);
+                // edge e must appear in u's forward range
+                let found = g.out_edges_indexed(u).any(|(fe, fv, _)| fe == e && fv == v);
+                assert!(found, "edge ({u},{v}) id {e} missing from forward adjacency");
+            }
+        }
+    }
+
+    #[test]
+    fn has_edge_binary_search() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.has_edge(3, 3));
+    }
+
+    #[test]
+    fn edges_iterator_yields_all() {
+        let g = diamond();
+        let all: Vec<_> = g.edges().collect();
+        assert_eq!(all.len(), 4);
+        assert!(all.contains(&(0, 1, 0.5)));
+        assert!(all.contains(&(2, 3, 0.75)));
+    }
+
+    #[test]
+    fn map_probabilities_keeps_structure() {
+        let g = diamond();
+        let g2 = g.map_probabilities(|_, _, p| p / 2.0);
+        assert_eq!(g2.n(), g.n());
+        assert_eq!(g2.m(), g.m());
+        let out0: Vec<_> = g2.out_edges(0).collect();
+        assert_eq!(out0, vec![(1, 0.25), (2, 0.125)]);
+    }
+
+    #[test]
+    fn lt_validity_check() {
+        let g = diamond();
+        // node 3 receives 1.0 + 0.75 > 1 -> invalid LT instance
+        assert!(!g.is_valid_lt());
+        let g2 = g.map_probabilities(|_, v, p| if v == 3 { p / 2.0 } else { p });
+        assert!(g2.is_valid_lt());
+    }
+}

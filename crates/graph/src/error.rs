@@ -1,0 +1,45 @@
+//! Error type shared across the graph crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or loading graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge endpoint was `>= n`.
+    NodeOutOfRange { node: u32, n: usize },
+    /// An edge probability fell outside `(0, 1]`.
+    InvalidProbability { u: u32, v: u32, p: f64 },
+    /// A duplicate edge was found under [`DedupPolicy::Error`](crate::DedupPolicy).
+    DuplicateEdge { u: u32, v: u32 },
+    /// A self loop `⟨u, u⟩` was submitted.
+    SelfLoop { u: u32 },
+    /// An input file could not be parsed.
+    Parse { line: usize, message: String },
+    /// An underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node id {node} out of range for graph with {n} nodes")
+            }
+            GraphError::InvalidProbability { u, v, p } => {
+                write!(f, "edge ({u}, {v}) has probability {p} outside (0, 1]")
+            }
+            GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
+            GraphError::SelfLoop { u } => write!(f, "self loop at node {u}"),
+            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,142 @@
+//! Walker alias method for O(1) weighted sampling.
+//!
+//! Used by the Chung–Lu generator, which must draw millions of endpoints from
+//! a fixed power-law weight vector; the alias table turns each draw into one
+//! uniform and one comparison.
+
+use rand::Rng;
+
+/// Precomputed alias table over `weights.len()` outcomes.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights (at least one must be
+    /// positive).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite value,
+    /// or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total.is_finite() && total > 0.0,
+            "weights must be finite and sum to a positive value"
+        );
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "negative or non-finite weight");
+        }
+
+        let k = weights.len();
+        let scale = k as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; k];
+
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical residue: anything left is effectively probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` when the table has no outcomes (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome index proportionally to the original weights.
+    #[inline]
+    pub fn sample(&self, rng: &mut impl Rng) -> u32 {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_weights_statistically() {
+        let weights = [1.0, 2.0, 7.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = [0usize; 3];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for i in 0..3 {
+            let expected = weights[i] / total;
+            let observed = counts[i] as f64 / draws as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "outcome {i}: expected {expected}, observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let table = AliasTable::new(&[0.0, 1.0]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let table = AliasTable::new(&[3.5]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(table.sample(&mut rng), 0);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to a positive")]
+    fn all_zero_panics() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_panics() {
+        let _ = AliasTable::new(&[]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Barabási–Albert preferential attachment (undirected pair list).
+
+use crate::csr::NodeId;
+use rand::Rng;
+
+/// Classic BA model: start from a clique of `m_attach + 1` nodes, then each
+/// new node attaches to `m_attach` distinct existing nodes chosen with
+/// probability proportional to their current degree (implemented with the
+/// repeated-endpoint urn). Returns undirected pairs `(u, v)` with `u < v`
+/// implied by construction order; mirror them for a directed graph.
+pub fn barabasi_albert(n: usize, m_attach: usize, rng: &mut impl Rng) -> Vec<(NodeId, NodeId)> {
+    assert!(m_attach >= 1, "attachment count must be at least 1");
+    assert!(
+        n > m_attach,
+        "need more nodes ({n}) than attachments per node ({m_attach})"
+    );
+
+    let seed = m_attach + 1;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(seed * (seed - 1) / 2 + (n - seed) * m_attach);
+    // Urn of endpoints: a node appears once per incident edge.
+    let mut urn: Vec<NodeId> = Vec::with_capacity(2 * edges.capacity());
+
+    for u in 0..seed {
+        for v in (u + 1)..seed {
+            edges.push((u as NodeId, v as NodeId));
+            urn.push(u as NodeId);
+            urn.push(v as NodeId);
+        }
+    }
+
+    let mut targets: Vec<NodeId> = Vec::with_capacity(m_attach);
+    for u in seed..n {
+        targets.clear();
+        while targets.len() < m_attach {
+            let t = urn[rng.random_range(0..urn.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            edges.push((u as NodeId, t));
+            urn.push(u as NodeId);
+            urn.push(t);
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_count_matches_formula() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 200;
+        let m_attach = 3;
+        let edges = barabasi_albert(n, m_attach, &mut rng);
+        let seed = m_attach + 1;
+        assert_eq!(edges.len(), seed * (seed - 1) / 2 + (n - seed) * m_attach);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicate_attachments() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let edges = barabasi_albert(300, 2, &mut rng);
+        let mut set = std::collections::HashSet::new();
+        for &(u, v) in &edges {
+            assert_ne!(u, v);
+            let key = (u.min(v), u.max(v));
+            assert!(set.insert(key), "duplicate undirected edge {key:?}");
+        }
+    }
+
+    #[test]
+    fn rich_get_richer() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let n = 3_000;
+        let edges = barabasi_albert(n, 2, &mut rng);
+        let mut deg = vec![0usize; n];
+        for &(u, v) in &edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let avg = 2.0 * edges.len() as f64 / n as f64;
+        assert!(max as f64 > 10.0 * avg, "BA should produce hubs: max {max}, avg {avg}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = barabasi_albert(50, 2, &mut SmallRng::seed_from_u64(4));
+        let b = barabasi_albert(50, 2, &mut SmallRng::seed_from_u64(4));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,165 @@
+//! R-MAT / Kronecker-style recursive matrix generator (Chakrabarti et al.
+//! 2004) — the other standard synthetic model in the influence-maximization
+//! literature. Produces self-similar graphs with heavy-tailed degrees and
+//! pronounced community structure (unlike Chung–Lu, whose edges are
+//! independent given the weights).
+
+use crate::csr::NodeId;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// R-MAT quadrant probabilities. Must be positive and sum to 1.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Top-left (both endpoints in the "dense" half).
+    pub a: f64,
+    /// Top-right.
+    pub b: f64,
+    /// Bottom-left.
+    pub c: f64,
+    /// Bottom-right.
+    pub d: f64,
+}
+
+impl Default for RmatParams {
+    /// The canonical social-graph setting (a = 0.57, b = c = 0.19,
+    /// d = 0.05), as used by the Graph500 benchmark.
+    fn default() -> Self {
+        RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 }
+    }
+}
+
+impl RmatParams {
+    fn validate(&self) {
+        let sum = self.a + self.b + self.c + self.d;
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "R-MAT quadrant probabilities must sum to 1 (got {sum})"
+        );
+        assert!(
+            self.a > 0.0 && self.b > 0.0 && self.c > 0.0 && self.d > 0.0,
+            "R-MAT quadrant probabilities must be positive"
+        );
+    }
+}
+
+/// Generates `m` distinct directed edges over `n = 2^scale` nodes by
+/// recursive quadrant descent, rejecting self loops and duplicates.
+pub fn rmat(scale: u32, m: usize, params: RmatParams, rng: &mut impl Rng) -> Vec<(NodeId, NodeId)> {
+    params.validate();
+    assert!(scale >= 1 && scale <= 30, "scale must be in [1, 30]");
+    let n: u64 = 1 << scale;
+    assert!(
+        (m as u128) <= (n as u128) * (n as u128 - 1),
+        "cannot place {m} distinct directed edges on {n} nodes"
+    );
+
+    let mut seen: HashSet<u64> = HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    let ab = params.a + params.b;
+    let ac = params.a + params.c;
+    // Per-level noise keeps the degree distribution from collapsing onto a
+    // few exact hub ids (standard "smoothing" variant).
+    while edges.len() < m {
+        let mut u = 0u64;
+        let mut v = 0u64;
+        for _ in 0..scale {
+            let row = rng.random::<f64>() < ab; // stay in the top half?
+            let col = if row {
+                rng.random::<f64>() < params.a / ab
+            } else {
+                rng.random::<f64>() < params.c / (params.c + params.d)
+            };
+            u = (u << 1) | u64::from(!row);
+            v = (v << 1) | u64::from(!col);
+        }
+        let _ = ac;
+        if u == v {
+            continue;
+        }
+        if seen.insert(u << 32 | v) {
+            edges.push((u as NodeId, v as NodeId));
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_exact_count_distinct() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let edges = rmat(8, 1_000, RmatParams::default(), &mut rng);
+        assert_eq!(edges.len(), 1_000);
+        let set: HashSet<_> = edges.iter().collect();
+        assert_eq!(set.len(), 1_000);
+        for &(u, v) in &edges {
+            assert_ne!(u, v);
+            assert!(u < 256 && v < 256);
+        }
+    }
+
+    #[test]
+    fn skewed_quadrants_make_hubs() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 1usize << 11;
+        let edges = rmat(11, 10_000, RmatParams::default(), &mut rng);
+        let mut deg = vec![0usize; n];
+        for &(u, v) in &edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let avg = 2.0 * edges.len() as f64 / n as f64;
+        assert!(
+            max as f64 > 10.0 * avg,
+            "R-MAT must produce hubs: max {max}, avg {avg:.1}"
+        );
+    }
+
+    #[test]
+    fn uniform_quadrants_reduce_to_er_like() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 1usize << 10;
+        let params = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+        let edges = rmat(10, 8_000, params, &mut rng);
+        let mut deg = vec![0usize; n];
+        for &(u, v) in &edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap() as f64;
+        let avg = 2.0 * edges.len() as f64 / n as f64;
+        assert!(max < 4.0 * avg, "uniform R-MAT should have no hubs: max {max}, avg {avg}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = rmat(6, 100, RmatParams::default(), &mut SmallRng::seed_from_u64(5));
+        let b = rmat(6, 100, RmatParams::default(), &mut SmallRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_params_panic() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = rmat(4, 10, RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }, &mut rng);
+    }
+
+    #[test]
+    fn integrates_with_assemble_and_asm() {
+        use crate::generators::assemble;
+        use crate::weights::WeightModel;
+        let mut rng = SmallRng::seed_from_u64(9);
+        let pairs = rmat(9, 3_000, RmatParams::default(), &mut rng);
+        let g = assemble(512, &pairs, true, WeightModel::WeightedCascade, &mut rng).unwrap();
+        assert_eq!(g.n(), 512);
+        assert_eq!(g.m(), 3_000);
+        assert!(g.is_valid_lt());
+    }
+}

@@ -1,0 +1,98 @@
+//! Watts–Strogatz small-world rewiring (undirected pair list).
+
+use crate::csr::NodeId;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Ring lattice over `n` nodes where each node connects to its `k/2` nearest
+/// neighbors on each side, then each edge's far endpoint is rewired with
+/// probability `beta` to a uniform non-duplicate target. Returns undirected
+/// pairs.
+///
+/// # Panics
+/// Panics unless `k` is even, `k ≥ 2`, and `n > k`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut impl Rng) -> Vec<(NodeId, NodeId)> {
+    assert!(k.is_multiple_of(2) && k >= 2, "k must be even and ≥ 2");
+    assert!(n > k, "need n > k");
+    assert!((0.0..=1.0).contains(&beta), "beta must lie in [0, 1]");
+
+    let mut seen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(n * k / 2);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * k / 2);
+    let norm = |u: NodeId, v: NodeId| (u.min(v), u.max(v));
+
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = ((u + j) % n) as NodeId;
+            let u = u as NodeId;
+            let (mut a, mut b) = (u, v);
+            if rng.random::<f64>() < beta {
+                // rewire the far endpoint
+                let mut tries = 0;
+                loop {
+                    let w = rng.random_range(0..n as u32);
+                    if w != u && !seen.contains(&norm(u, w)) {
+                        a = u;
+                        b = w;
+                        break;
+                    }
+                    tries += 1;
+                    if tries > 64 {
+                        break; // keep the lattice edge; graph nearly full
+                    }
+                }
+            }
+            if seen.insert(norm(a, b)) {
+                edges.push((a, b));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_beta_is_pure_lattice() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 20;
+        let k = 4;
+        let edges = watts_strogatz(n, k, 0.0, &mut rng);
+        assert_eq!(edges.len(), n * k / 2);
+        for &(u, v) in &edges {
+            let d = (v as i64 - u as i64).rem_euclid(n as i64);
+            let ring = d.min(n as i64 - d);
+            assert!(ring as usize <= k / 2, "non-lattice edge ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn rewiring_changes_some_edges() {
+        let n = 100;
+        let k = 4;
+        let lattice = watts_strogatz(n, k, 0.0, &mut SmallRng::seed_from_u64(5));
+        let rewired = watts_strogatz(n, k, 0.5, &mut SmallRng::seed_from_u64(5));
+        let l: HashSet<_> = lattice.iter().collect();
+        let moved = rewired.iter().filter(|e| !l.contains(e)).count();
+        assert!(moved > 0, "beta = 0.5 should rewire something");
+    }
+
+    #[test]
+    fn no_duplicates_or_loops() {
+        let edges = watts_strogatz(60, 6, 0.3, &mut SmallRng::seed_from_u64(9));
+        let mut set = HashSet::new();
+        for &(u, v) in &edges {
+            assert_ne!(u, v);
+            assert!(set.insert((u.min(v), u.max(v))));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn odd_k_panics() {
+        let _ = watts_strogatz(10, 3, 0.1, &mut SmallRng::seed_from_u64(1));
+    }
+}

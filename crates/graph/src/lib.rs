@@ -1,0 +1,34 @@
+//! # smin-graph
+//!
+//! Directed probabilistic graph substrate for the adaptive seed minimization
+//! stack. A [`Graph`] is an immutable compressed-sparse-row structure holding
+//! both forward and reverse adjacency, where every edge `⟨u, v⟩` carries a
+//! propagation probability `p(u, v) ∈ (0, 1]` (§2.1 of the paper).
+//!
+//! The crate also provides:
+//!
+//! * [`GraphBuilder`] — mutable edge accumulator with deduplication policies;
+//! * [`weights`] — the paper's weighted-cascade model (`p = 1/indeg`) plus
+//!   uniform and trivalency alternatives;
+//! * [`generators`] — synthetic social-network generators (directed
+//!   Chung–Lu power law, Barabási–Albert, Erdős–Rényi, Watts–Strogatz) used as
+//!   stand-ins for the SNAP datasets of the evaluation;
+//! * [`io`] — SNAP-compatible edge-list reading/writing;
+//! * [`components`] / [`degree`] — the statistics reported in Table 2 and
+//!   Figure 3.
+
+pub mod builder;
+pub mod components;
+pub mod csr;
+pub mod degree;
+pub mod error;
+pub mod generators;
+pub mod io;
+pub mod ops;
+pub mod topics;
+pub mod weights;
+
+pub use builder::{DedupPolicy, GraphBuilder};
+pub use csr::{Graph, NodeId};
+pub use error::GraphError;
+pub use weights::WeightModel;

@@ -1,0 +1,145 @@
+//! Structural graph operations: transpose and induced subgraphs.
+//!
+//! The residual graphs of the adaptive loop are handled by masks
+//! (`smin-diffusion::ResidualState`) without copying; the materializing
+//! operations here serve preprocessing pipelines (e.g. extracting the LWCC
+//! before an experiment) and tests.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+
+/// The transpose graph: every edge `⟨u, v⟩` becomes `⟨v, u⟩` with the same
+/// probability.
+pub fn transpose(g: &Graph) -> Graph {
+    let mut b = GraphBuilder::with_capacity(g.n(), g.m());
+    for (u, v, p) in g.edges() {
+        b.add_edge_p(v, u, p).expect("edges of a valid graph are valid");
+    }
+    b.build().expect("transpose preserves validity")
+}
+
+/// The subgraph induced by `keep`, with nodes relabelled densely in the
+/// order given. Returns the graph and the mapping `new_id -> old_id`.
+///
+/// # Panics
+/// Panics if `keep` contains duplicates or out-of-range ids.
+pub fn induced_subgraph(g: &Graph, keep: &[NodeId]) -> (Graph, Vec<NodeId>) {
+    let mut new_id = vec![u32::MAX; g.n()];
+    for (i, &old) in keep.iter().enumerate() {
+        assert!((old as usize) < g.n(), "node {old} out of range");
+        assert_eq!(new_id[old as usize], u32::MAX, "duplicate node {old} in keep list");
+        new_id[old as usize] = i as u32;
+    }
+    let mut b = GraphBuilder::new(keep.len());
+    for &old in keep {
+        for (v, p) in g.out_edges(old) {
+            let nv = new_id[v as usize];
+            if nv != u32::MAX {
+                b.add_edge_p(new_id[old as usize], nv, p)
+                    .expect("remapped edges are valid");
+            }
+        }
+    }
+    (b.build().expect("induced subgraph is valid"), keep.to_vec())
+}
+
+/// Extracts the largest weakly connected component as a standalone graph
+/// (what one typically runs experiments on); returns the graph and the
+/// original ids of its nodes.
+pub fn largest_wcc(g: &Graph) -> (Graph, Vec<NodeId>) {
+    let wcc = crate::components::weakly_connected_components(g);
+    let mut sizes = vec![0usize; wcc.count];
+    for &l in &wcc.labels {
+        sizes[l as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(l, _)| l as u32)
+        .unwrap_or(0);
+    let keep: Vec<NodeId> = (0..g.n() as u32)
+        .filter(|&u| wcc.labels[u as usize] == best)
+        .collect();
+    induced_subgraph(g, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge_p(0, 1, 0.5).unwrap();
+        b.add_edge_p(0, 2, 0.25).unwrap();
+        b.add_edge_p(1, 3, 1.0).unwrap();
+        b.add_edge_p(2, 3, 0.75).unwrap();
+        // node 4 isolated
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = transpose(&g);
+        assert_eq!(t.n(), g.n());
+        assert_eq!(t.m(), g.m());
+        assert!(t.has_edge(1, 0));
+        assert!(t.has_edge(3, 2));
+        assert!(!t.has_edge(0, 1));
+        // probabilities carried over
+        let (_, p) = t.out_edges(3).next().unwrap();
+        assert_eq!(p, 1.0);
+        // double transpose is identity
+        let tt = transpose(&t);
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = tt.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = diamond();
+        let (sub, map) = induced_subgraph(&g, &[0, 1, 3]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(map, vec![0, 1, 3]);
+        // edges 0->1 and 1->3 survive (relabelled 0->1, 1->2); 0->2, 2->3 drop
+        assert_eq!(sub.m(), 2);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_probabilities() {
+        let g = diamond();
+        let (sub, _) = induced_subgraph(&g, &[0, 2, 3]);
+        let probs: Vec<f64> = sub.edges().map(|(_, _, p)| p).collect();
+        assert_eq!(probs, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn induced_subgraph_rejects_duplicates() {
+        let _ = induced_subgraph(&diamond(), &[0, 0]);
+    }
+
+    #[test]
+    fn largest_wcc_drops_isolated_node() {
+        let g = diamond();
+        let (core, ids) = largest_wcc(&g);
+        assert_eq!(core.n(), 4);
+        assert_eq!(core.m(), 4);
+        assert!(!ids.contains(&4));
+    }
+
+    #[test]
+    fn largest_wcc_of_connected_graph_is_identity_sized() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_p(0, 1, 0.5).unwrap();
+        b.add_edge_p(2, 1, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let (core, ids) = largest_wcc(&g);
+        assert_eq!(core.n(), 3);
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

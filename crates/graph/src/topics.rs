@@ -1,0 +1,203 @@
+//! Topic-aware influence probabilities (the TIC model of Barbieri et al.,
+//! referenced in §2 of the paper).
+//!
+//! In the topic-aware independent cascade model every edge carries a
+//! probability *per topic*; a concrete campaign (an "item") is a mixture
+//! over topics, and the effective edge probability is the mixture-weighted
+//! combination. Because the ASM algorithms only see a [`Graph`] with scalar
+//! probabilities, topic-awareness reduces to *materializing the mixture*:
+//! build a [`TopicGraph`] once, then derive a plain [`Graph`] per campaign
+//! with [`TopicGraph::for_mixture`] and run ASTI on it unchanged — exactly
+//! the extension path the paper describes.
+
+use crate::csr::Graph;
+use crate::error::GraphError;
+use rand::Rng;
+
+/// A graph whose edges carry one probability per topic.
+#[derive(Clone, Debug)]
+pub struct TopicGraph {
+    /// Structural graph; its scalar probabilities are ignored.
+    structure: Graph,
+    /// Number of topics `Z`.
+    num_topics: usize,
+    /// `probs[e * Z + z]` = probability of forward edge `e` under topic `z`.
+    probs: Vec<f64>,
+}
+
+impl TopicGraph {
+    /// Wraps a structural graph with per-topic edge probabilities.
+    /// `probs[e][z]` must match the graph's forward edge order (the order of
+    /// [`Graph::edges`]) and lie in `(0, 1]`.
+    pub fn new(structure: Graph, num_topics: usize, probs: Vec<f64>) -> Result<Self, GraphError> {
+        assert!(num_topics > 0, "need at least one topic");
+        assert_eq!(
+            probs.len(),
+            structure.m() * num_topics,
+            "need one probability per edge per topic"
+        );
+        for (i, &p) in probs.iter().enumerate() {
+            if !(p > 0.0 && p <= 1.0) {
+                let e = (i / num_topics) as u32;
+                return Err(GraphError::InvalidProbability {
+                    u: u32::MAX,
+                    v: structure.edge_dst(e),
+                    p,
+                });
+            }
+        }
+        Ok(TopicGraph {
+            structure,
+            num_topics,
+            probs,
+        })
+    }
+
+    /// Random topic probabilities: each edge's per-topic probability is its
+    /// base probability scaled by an independent uniform `[0, 1]` affinity.
+    /// A convenient synthetic TIC instance generator.
+    pub fn random_affinities(structure: Graph, num_topics: usize, rng: &mut impl Rng) -> Self {
+        let m = structure.m();
+        let base: Vec<f64> = structure.edges().map(|(_, _, p)| p).collect();
+        let mut probs = Vec::with_capacity(m * num_topics);
+        for &b in &base {
+            for _ in 0..num_topics {
+                // keep within (0, 1]: affinity in (0.05, 1.0]
+                let affinity = 0.05 + 0.95 * rng.random::<f64>();
+                probs.push((b * affinity).clamp(f64::MIN_POSITIVE, 1.0));
+            }
+        }
+        TopicGraph {
+            structure,
+            num_topics,
+            probs,
+        }
+    }
+
+    /// Number of topics.
+    pub fn num_topics(&self) -> usize {
+        self.num_topics
+    }
+
+    /// The structural graph.
+    pub fn structure(&self) -> &Graph {
+        &self.structure
+    }
+
+    /// Probability of forward edge `e` under topic `z`.
+    pub fn edge_topic_prob(&self, e: u32, z: usize) -> f64 {
+        self.probs[e as usize * self.num_topics + z]
+    }
+
+    /// Materializes the scalar graph for a campaign described by a topic
+    /// mixture `γ` (non-negative, summing to 1 within tolerance):
+    /// `p(e) = Σ_z γ_z · p_z(e)`.
+    pub fn for_mixture(&self, mixture: &[f64]) -> Result<Graph, GraphError> {
+        assert_eq!(mixture.len(), self.num_topics, "mixture arity mismatch");
+        let total: f64 = mixture.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6 && mixture.iter().all(|&w| w >= 0.0),
+            "mixture must be a probability distribution (sum = {total})"
+        );
+        let z = self.num_topics;
+        let probs = &self.probs;
+        let mut e = 0usize;
+        Ok(self.structure.map_probabilities(|_, _, _| {
+            let row = &probs[e * z..(e + 1) * z];
+            e += 1;
+            let p: f64 = row.iter().zip(mixture).map(|(p, w)| p * w).sum();
+            p.clamp(f64::MIN_POSITIVE, 1.0)
+        }))
+    }
+
+    /// Single-topic convenience: the graph under pure topic `z`.
+    pub fn for_topic(&self, z: usize) -> Graph {
+        assert!(z < self.num_topics);
+        let mut mixture = vec![0.0; self.num_topics];
+        mixture[z] = 1.0;
+        self.for_mixture(&mixture).expect("pure mixture is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn base() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_p(0, 1, 0.5).unwrap();
+        b.add_edge_p(1, 2, 0.8).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pure_topic_selects_column() {
+        let g = base();
+        // edge 0: topics (0.2, 0.6); edge 1: topics (0.9, 0.1)
+        let tg = TopicGraph::new(g, 2, vec![0.2, 0.6, 0.9, 0.1]).unwrap();
+        let g0 = tg.for_topic(0);
+        let probs0: Vec<f64> = g0.edges().map(|(_, _, p)| p).collect();
+        assert_eq!(probs0, vec![0.2, 0.9]);
+        let g1 = tg.for_topic(1);
+        let probs1: Vec<f64> = g1.edges().map(|(_, _, p)| p).collect();
+        assert_eq!(probs1, vec![0.6, 0.1]);
+    }
+
+    #[test]
+    fn mixture_is_weighted_average() {
+        let tg = TopicGraph::new(base(), 2, vec![0.2, 0.6, 0.9, 0.1]).unwrap();
+        let g = tg.for_mixture(&[0.25, 0.75]).unwrap();
+        let probs: Vec<f64> = g.edges().map(|(_, _, p)| p).collect();
+        assert!((probs[0] - (0.25 * 0.2 + 0.75 * 0.6)).abs() < 1e-12);
+        assert!((probs[1] - (0.25 * 0.9 + 0.75 * 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn structure_preserved() {
+        let tg = TopicGraph::new(base(), 2, vec![0.2, 0.6, 0.9, 0.1]).unwrap();
+        let g = tg.for_mixture(&[0.5, 0.5]).unwrap();
+        assert_eq!(g.n(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        assert!(TopicGraph::new(base(), 2, vec![0.2, 0.6, 0.9, 1.5]).is_err());
+        assert!(TopicGraph::new(base(), 2, vec![0.0, 0.6, 0.9, 0.1]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "one probability per edge per topic")]
+    fn rejects_wrong_arity() {
+        let _ = TopicGraph::new(base(), 2, vec![0.2, 0.6, 0.9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability distribution")]
+    fn rejects_bad_mixture() {
+        let tg = TopicGraph::new(base(), 2, vec![0.2, 0.6, 0.9, 0.1]).unwrap();
+        let _ = tg.for_mixture(&[0.7, 0.7]);
+    }
+
+    #[test]
+    fn random_affinities_within_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let tg = TopicGraph::random_affinities(base(), 4, &mut rng);
+        assert_eq!(tg.num_topics(), 4);
+        for e in 0..2u32 {
+            let base_p = tg.structure().edge_prob(e);
+            for z in 0..4 {
+                let p = tg.edge_topic_prob(e, z);
+                assert!(p > 0.0 && p <= base_p + 1e-12, "edge {e} topic {z}: {p}");
+            }
+        }
+        // mixtures remain valid graphs
+        let g = tg.for_mixture(&[0.25; 4]).unwrap();
+        assert!(g.edges().all(|(_, _, p)| p > 0.0 && p <= 1.0));
+    }
+}

@@ -1,0 +1,136 @@
+//! Martingale concentration bounds (Appendix A).
+//!
+//! Lemma A.2 turns an observed coverage count `Λ_R(v)` into high-probability
+//! bounds on the *expected* coverage `E[Λ_R(v)]`, each holding with failure
+//! probability `e^{−a}`:
+//!
+//! ```text
+//! lower:  E[Λ] ≥ (√(Λ + 2a/9) − √(a/2))² − a/18
+//! upper:  E[Λ] ≤ (√(Λ + a/2) + √(a/2))²
+//! ```
+//!
+//! These drive the stopping conditions of TRIM (Algorithm 2, Lines 9–11) and
+//! TRIM-B (Algorithm 3).
+
+/// Lower bound `Λ^l` of Lemma A.2 / Algorithm 2 Line 9 (clamped at 0).
+pub fn coverage_lower_bound(observed: f64, a: f64) -> f64 {
+    assert!(observed >= 0.0 && a >= 0.0, "inputs must be non-negative");
+    let root = (observed + 2.0 * a / 9.0).sqrt() - (a / 2.0).sqrt();
+    // When a dominates the observation the bound goes negative; expected
+    // coverage is non-negative, so clamp.
+    (root * root - a / 18.0).max(0.0)
+}
+
+/// Upper bound `Λ^u` of Lemma A.2 / Algorithm 2 Line 10.
+pub fn coverage_upper_bound(observed: f64, a: f64) -> f64 {
+    assert!(observed >= 0.0 && a >= 0.0, "inputs must be non-negative");
+    let root = (observed + a / 2.0).sqrt() + (a / 2.0).sqrt();
+    root * root
+}
+
+/// Chernoff-style sufficient sample size (Lemma A.1 rearranged): number of
+/// Bernoulli samples with mean `mu` needed to have relative error at most
+/// `eps` with probability `1 − delta`. Used to size the verification pools
+/// of the baselines.
+pub fn chernoff_samples(mu: f64, eps: f64, delta: f64) -> f64 {
+    assert!(mu > 0.0 && eps > 0.0 && delta > 0.0 && delta < 1.0);
+    (2.0 + 2.0 * eps / 3.0) * (1.0 / delta).ln() / (eps * eps * mu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_below_observation_upper_above() {
+        for &obs in &[0.0, 1.0, 10.0, 1000.0, 1e7] {
+            for &a in &[0.1, 1.0, 5.0, 20.0] {
+                let lo = coverage_lower_bound(obs, a);
+                let hi = coverage_upper_bound(obs, a);
+                assert!(lo <= obs + 1e-9, "lower({obs}, {a}) = {lo} > obs");
+                assert!(hi >= obs - 1e-9, "upper({obs}, {a}) = {hi} < obs");
+                assert!(lo <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_tighten_as_a_shrinks() {
+        let obs = 500.0;
+        let (lo1, hi1) = (coverage_lower_bound(obs, 10.0), coverage_upper_bound(obs, 10.0));
+        let (lo2, hi2) = (coverage_lower_bound(obs, 1.0), coverage_upper_bound(obs, 1.0));
+        assert!(lo2 > lo1);
+        assert!(hi2 < hi1);
+    }
+
+    #[test]
+    fn zero_a_is_exact() {
+        assert_eq!(coverage_lower_bound(42.0, 0.0), 42.0);
+        assert_eq!(coverage_upper_bound(42.0, 0.0), 42.0);
+    }
+
+    #[test]
+    fn ratio_converges_with_scale() {
+        // With fixed a, lower/upper ratio -> 1 as the observation grows: the
+        // stopping rule of TRIM will eventually fire.
+        let a = 12.0;
+        let small = coverage_lower_bound(50.0, a) / coverage_upper_bound(50.0, a);
+        let big = coverage_lower_bound(50_000.0, a) / coverage_upper_bound(50_000.0, a);
+        assert!(big > small);
+        assert!(big > 0.95, "ratio at 50k = {big}");
+    }
+
+    #[test]
+    fn lower_bound_clamped_at_zero() {
+        assert!(coverage_lower_bound(0.0, 100.0) < 1e-9);
+    }
+
+    #[test]
+    fn empirical_coverage_lower_bound_holds() {
+        // Monte-Carlo sanity check: Bernoulli(p), the lower bound on T·p̂
+        // should rarely exceed T·p.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(77);
+        let p = 0.1;
+        let t = 2_000usize;
+        let a = 6.0; // failure probability e^-6 ≈ 0.0025
+        let mut violations = 0usize;
+        let runs = 400;
+        for _ in 0..runs {
+            let hits = (0..t).filter(|_| rng.random::<f64>() < p).count() as f64;
+            if coverage_lower_bound(hits, a) > p * t as f64 {
+                violations += 1;
+            }
+        }
+        assert!(
+            violations <= 5,
+            "lower bound violated {violations}/{runs} times (expected ≤ ~1)"
+        );
+    }
+
+    #[test]
+    fn empirical_coverage_upper_bound_holds() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(78);
+        let p = 0.1;
+        let t = 2_000usize;
+        let a = 6.0;
+        let mut violations = 0usize;
+        let runs = 400;
+        for _ in 0..runs {
+            let hits = (0..t).filter(|_| rng.random::<f64>() < p).count() as f64;
+            if coverage_upper_bound(hits, a) < p * t as f64 {
+                violations += 1;
+            }
+        }
+        assert!(violations <= 5, "upper bound violated {violations}/{runs} times");
+    }
+
+    #[test]
+    fn chernoff_samples_monotone() {
+        assert!(chernoff_samples(0.1, 0.1, 0.01) > chernoff_samples(0.2, 0.1, 0.01));
+        assert!(chernoff_samples(0.1, 0.05, 0.01) > chernoff_samples(0.1, 0.1, 0.01));
+    }
+}

@@ -1,0 +1,257 @@
+//! Greedy maximum coverage over a sketch pool (TRIM-B Line 8).
+//!
+//! The classic greedy algorithm guarantees covering at least
+//! `ρ_b = 1 − (1 − 1/b)^b` of the optimum for `b` picks (Vazirani 2003),
+//! which is the factor TRIM-B's stopping rule divides by.
+
+use crate::pool::SketchPool;
+use smin_graph::NodeId;
+
+/// Result of a greedy cover run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GreedyCover {
+    /// Selected nodes in pick order (may be shorter than `b` if the pool is
+    /// exhausted).
+    pub seeds: Vec<NodeId>,
+    /// Number of sets covered by `seeds`.
+    pub covered: u32,
+}
+
+/// Picks up to `b` nodes greedily maximizing marginal set coverage.
+///
+/// Runs in `O(b·n + Σ|R|)`: marginal coverages are maintained exactly by
+/// decrementing the counts of every node sharing a newly covered set.
+pub fn greedy_max_coverage(pool: &SketchPool, b: usize) -> GreedyCover {
+    let mut marginal: Vec<u32> = pool.coverage_counts().to_vec();
+    let mut set_covered = vec![false; pool.len()];
+    let mut seeds = Vec::with_capacity(b);
+    let mut covered = 0u32;
+
+    for _ in 0..b {
+        let mut best: Option<(NodeId, u32)> = None;
+        for &v in pool.touched_nodes() {
+            let c = marginal[v as usize];
+            // ties break toward the smaller node id (matches the CELF
+            // variant so both algorithms return identical selections)
+            if c > 0 && best.is_none_or(|(bv, bc)| c > bc || (c == bc && v < bv)) {
+                best = Some((v, c));
+            }
+        }
+        let Some((v, gain)) = best else { break };
+        seeds.push(v);
+        covered += gain;
+        for &s in pool.sets_of(v) {
+            if !set_covered[s as usize] {
+                set_covered[s as usize] = true;
+                for &u in pool.set(s) {
+                    marginal[u as usize] -= 1;
+                }
+            }
+        }
+        debug_assert_eq!(marginal[v as usize], 0);
+    }
+
+    GreedyCover { seeds, covered }
+}
+
+/// `ρ_b = 1 − (1 − 1/b)^b`, the greedy max-coverage guarantee for batch size
+/// `b` (`ρ_1 = 1`, decreasing toward `1 − 1/e`).
+pub fn rho_b(b: usize) -> f64 {
+    assert!(b >= 1, "batch size must be at least 1");
+    1.0 - (1.0 - 1.0 / b as f64).powi(b as i32)
+}
+
+/// CELF-style lazy greedy (Leskovec et al. 2007): identical output to
+/// [`greedy_max_coverage`] (same tie-breaking: higher gain first, then
+/// smaller node id) but skips recomputing marginals that submodularity
+/// proves stale. Wins when `b` is large relative to how quickly gains decay.
+pub fn lazy_greedy_max_coverage(pool: &SketchPool, b: usize) -> GreedyCover {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let mut marginal: Vec<u32> = pool.coverage_counts().to_vec();
+    let mut set_covered = vec![false; pool.len()];
+    // (cached gain, Reverse(node)): max-heap pops highest gain, smallest id.
+    let mut heap: BinaryHeap<(u32, Reverse<NodeId>)> = pool
+        .touched_nodes()
+        .iter()
+        .map(|&v| (marginal[v as usize], Reverse(v)))
+        .collect();
+    // round in which each node's cached gain was computed
+    let mut fresh_round: Vec<u32> = vec![0; pool.n()];
+    let mut seeds = Vec::with_capacity(b);
+    let mut covered = 0u32;
+
+    for round in 1..=b as u32 {
+        let picked = loop {
+            let Some(&(gain, Reverse(v))) = heap.peek() else {
+                break None;
+            };
+            if gain == 0 {
+                break None;
+            }
+            let current = marginal[v as usize];
+            if fresh_round[v as usize] == round || current == gain {
+                // cached value is exact for this round
+                heap.pop();
+                break Some((v, current));
+            }
+            heap.pop();
+            fresh_round[v as usize] = round;
+            if current > 0 {
+                heap.push((current, Reverse(v)));
+            }
+            continue;
+        };
+        let Some((v, gain)) = picked else { break };
+        seeds.push(v);
+        covered += gain;
+        for &s in pool.sets_of(v) {
+            if !set_covered[s as usize] {
+                set_covered[s as usize] = true;
+                for &u in pool.set(s) {
+                    marginal[u as usize] -= 1;
+                }
+            }
+        }
+    }
+
+    GreedyCover { seeds, covered }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_from(sets: &[&[NodeId]], n: usize) -> SketchPool {
+        let mut p = SketchPool::new(n);
+        for s in sets {
+            p.add_set(s);
+        }
+        p
+    }
+
+    #[test]
+    fn single_pick_is_argmax() {
+        let pool = pool_from(&[&[0, 1], &[1], &[2]], 3);
+        let g = greedy_max_coverage(&pool, 1);
+        assert_eq!(g.seeds, vec![1]);
+        assert_eq!(g.covered, 2);
+    }
+
+    #[test]
+    fn marginal_gains_respected() {
+        // node 0 covers sets {A, B}; node 1 covers {A, C}; node 2 covers {D}.
+        // Greedy picks 0 (gain 2) then 1 (marginal gain 1 from C, not 2).
+        let pool = pool_from(&[&[0, 1], &[0], &[1], &[2]], 3);
+        let g = greedy_max_coverage(&pool, 2);
+        assert_eq!(g.seeds[0], 0);
+        assert_eq!(g.covered, 3);
+    }
+
+    #[test]
+    fn exhausted_pool_stops_early() {
+        let pool = pool_from(&[&[0], &[0]], 2);
+        let g = greedy_max_coverage(&pool, 3);
+        assert_eq!(g.seeds, vec![0]);
+        assert_eq!(g.covered, 2);
+    }
+
+    #[test]
+    fn covers_everything_when_b_large() {
+        let pool = pool_from(&[&[0], &[1], &[2]], 3);
+        let g = greedy_max_coverage(&pool, 3);
+        assert_eq!(g.covered, 3);
+        assert_eq!(g.seeds.len(), 3);
+    }
+
+    #[test]
+    fn greedy_meets_rho_b_guarantee_exhaustive() {
+        // Brute-force optimum over all size-b subsets on a small instance
+        // and check covered ≥ ρ_b · OPT.
+        let sets: Vec<Vec<NodeId>> = vec![
+            vec![0, 1, 2],
+            vec![2, 3],
+            vec![3, 4],
+            vec![0, 4],
+            vec![1, 3],
+            vec![5],
+        ];
+        let refs: Vec<&[NodeId]> = sets.iter().map(|s| s.as_slice()).collect();
+        let pool = pool_from(&refs, 6);
+        for b in 1..=3usize {
+            let g = greedy_max_coverage(&pool, b);
+            // brute force optimum
+            let mut opt = 0u32;
+            let nodes: Vec<NodeId> = (0..6).collect();
+            let mut comb = vec![0usize; b];
+            fn rec(
+                nodes: &[NodeId],
+                pool: &SketchPool,
+                b: usize,
+                start: usize,
+                cur: &mut Vec<NodeId>,
+                opt: &mut u32,
+            ) {
+                if cur.len() == b {
+                    *opt = (*opt).max(pool.coverage_of_set(cur));
+                    return;
+                }
+                for i in start..nodes.len() {
+                    cur.push(nodes[i]);
+                    rec(nodes, pool, b, i + 1, cur, opt);
+                    cur.pop();
+                }
+            }
+            comb.clear();
+            let mut cur = Vec::new();
+            rec(&nodes, &pool, b, 0, &mut cur, &mut opt);
+            assert!(
+                g.covered as f64 >= rho_b(b) * opt as f64 - 1e-9,
+                "b = {b}: greedy {} < ρ_b·OPT = {}",
+                g.covered,
+                rho_b(b) * opt as f64
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_greedy_matches_simple_greedy_exactly() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(31);
+        for case in 0..30 {
+            let n = 2 + (case % 20);
+            let sets = 1 + (case * 7) % 50;
+            let mut pool = SketchPool::new(n);
+            for _ in 0..sets {
+                let size = 1 + rng.random_range(0..n.min(5));
+                let mut s: Vec<NodeId> = (0..size).map(|_| rng.random_range(0..n as u32)).collect();
+                s.sort_unstable();
+                s.dedup();
+                pool.add_set(&s);
+            }
+            for b in [1usize, 2, 3, 8] {
+                let simple = greedy_max_coverage(&pool, b);
+                let lazy = lazy_greedy_max_coverage(&pool, b);
+                assert_eq!(simple, lazy, "case {case}, b = {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_greedy_empty_pool() {
+        let pool = SketchPool::new(4);
+        let g = lazy_greedy_max_coverage(&pool, 3);
+        assert!(g.seeds.is_empty());
+        assert_eq!(g.covered, 0);
+    }
+
+    #[test]
+    fn rho_values() {
+        assert!((rho_b(1) - 1.0).abs() < 1e-12);
+        assert!((rho_b(2) - 0.75).abs() < 1e-12);
+        assert!(rho_b(8) > 1.0 - 1.0 / std::f64::consts::E);
+        assert!(rho_b(1000) > 1.0 - 1.0 / std::f64::consts::E - 1e-3);
+    }
+}

@@ -1,0 +1,27 @@
+//! # smin-sampling
+//!
+//! Reverse-reachable set machinery (§3.2–3.3 of the paper):
+//!
+//! * [`rr`] — classic single-root RR sets (Borgs et al.), used by the
+//!   AdaptIM and ATEUC baselines;
+//! * [`mrr`] — the paper's multi-root RR sets with randomized rounding of
+//!   the root count (`E[k] = n_i/η_i`), the sampler that makes *truncated*
+//!   spread estimation accurate (Theorem 3.3);
+//! * [`pool`] — a sketch pool with incremental coverage counts and an
+//!   inverted index, supporting the argmax and greedy-cover queries of
+//!   TRIM / TRIM-B;
+//! * [`coverage`] — greedy maximum coverage with the `ρ_b = 1 − (1−1/b)^b`
+//!   guarantee;
+//! * [`bounds`] — the martingale concentration bounds of Appendix A
+//!   (Lemma A.2) that drive the stopping rules.
+
+pub mod bounds;
+pub mod coverage;
+pub mod mrr;
+pub mod pool;
+pub mod rr;
+
+pub use coverage::{greedy_max_coverage, lazy_greedy_max_coverage};
+pub use mrr::{sample_root_count, MrrSampler, RootCountDist};
+pub use pool::SketchPool;
+pub use rr::ReverseSampler;

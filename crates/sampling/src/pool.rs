@@ -1,0 +1,244 @@
+//! Sketch pool: stores sampled (m)RR sets with incremental coverage counts.
+//!
+//! TRIM needs `argmax_v Λ_R(v)` after every doubling; TRIM-B additionally
+//! needs greedy maximum coverage, which requires the node→sets inverted
+//! index. Both are maintained incrementally as sets arrive so a doubling
+//! never re-scans old sets.
+
+use smin_graph::NodeId;
+
+/// A pool of reverse-reachable sets over nodes `0..n`.
+#[derive(Clone, Debug)]
+pub struct SketchPool {
+    n: usize,
+    /// Flattened node lists, one slice per set.
+    set_nodes: Vec<NodeId>,
+    set_off: Vec<usize>,
+    /// Inverted index: for each node, which sets contain it.
+    node_sets: Vec<Vec<u32>>,
+    /// `coverage[v] = Λ_R(v)`, the number of sets containing `v`.
+    coverage: Vec<u32>,
+    /// Nodes with non-zero coverage, in first-touch order. Lets `argmax` and
+    /// `reset` run in O(touched) instead of O(n) — essential when the pool is
+    /// reused across hundreds of adaptive rounds on a multi-million-node
+    /// graph.
+    touched: Vec<NodeId>,
+    /// Sets that were sampled empty (all roots dead) still count toward
+    /// `len()` — the estimator treats them as covering nothing.
+    empty_sets: usize,
+}
+
+impl SketchPool {
+    /// An empty pool over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        SketchPool {
+            n,
+            set_nodes: Vec::new(),
+            set_off: vec![0],
+            node_sets: vec![Vec::new(); n],
+            coverage: vec![0; n],
+            touched: Vec::new(),
+            empty_sets: 0,
+        }
+    }
+
+    /// Empties the pool keeping all allocations, in O(touched + sets).
+    pub fn reset(&mut self) {
+        for &v in &self.touched {
+            self.coverage[v as usize] = 0;
+            self.node_sets[v as usize].clear();
+        }
+        self.touched.clear();
+        self.set_nodes.clear();
+        self.set_off.clear();
+        self.set_off.push(0);
+        self.empty_sets = 0;
+    }
+
+    /// Number of sets `|R|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.set_off.len() - 1
+    }
+
+    /// `true` when no sets have been added.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of nodes the pool indexes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total of all set sizes (drives the greedy cover cost).
+    #[inline]
+    pub fn total_size(&self) -> usize {
+        self.set_nodes.len()
+    }
+
+    /// Adds one set; duplicates within `nodes` must already be removed
+    /// (the samplers guarantee this).
+    pub fn add_set(&mut self, nodes: &[NodeId]) {
+        let id = self.len() as u32;
+        for &v in nodes {
+            debug_assert!((v as usize) < self.n);
+            self.node_sets[v as usize].push(id);
+            if self.coverage[v as usize] == 0 {
+                self.touched.push(v);
+            }
+            self.coverage[v as usize] += 1;
+        }
+        if nodes.is_empty() {
+            self.empty_sets += 1;
+        }
+        self.set_nodes.extend_from_slice(nodes);
+        self.set_off.push(self.set_nodes.len());
+    }
+
+    /// The nodes of set `id`.
+    #[inline]
+    pub fn set(&self, id: u32) -> &[NodeId] {
+        &self.set_nodes[self.set_off[id as usize]..self.set_off[id as usize + 1]]
+    }
+
+    /// Sets containing `v`.
+    #[inline]
+    pub fn sets_of(&self, v: NodeId) -> &[u32] {
+        &self.node_sets[v as usize]
+    }
+
+    /// `Λ_R(v)`.
+    #[inline]
+    pub fn coverage(&self, v: NodeId) -> u32 {
+        self.coverage[v as usize]
+    }
+
+    /// Coverage counts for all nodes.
+    #[inline]
+    pub fn coverage_counts(&self) -> &[u32] {
+        &self.coverage
+    }
+
+    /// `Λ_R(S)` for a set of nodes: number of sets hit by at least one
+    /// member. Computed with a scan over the members' set lists.
+    pub fn coverage_of_set(&self, nodes: &[NodeId]) -> u32 {
+        let mut seen = vec![false; self.len()];
+        let mut c = 0u32;
+        for &v in nodes {
+            for &s in self.sets_of(v) {
+                if !seen[s as usize] {
+                    seen[s as usize] = true;
+                    c += 1;
+                }
+            }
+        }
+        c
+    }
+
+    /// Nodes that appear in at least one set (first-touch order).
+    #[inline]
+    pub fn touched_nodes(&self) -> &[NodeId] {
+        &self.touched
+    }
+
+    /// `argmax_v Λ_R(v)` with ties broken toward the earlier-touched node;
+    /// `None` when the pool covers nothing. O(touched).
+    pub fn argmax(&self) -> Option<(NodeId, u32)> {
+        let mut best: Option<(NodeId, u32)> = None;
+        for &v in &self.touched {
+            let c = self.coverage[v as usize];
+            if best.is_none_or(|(_, bc)| c > bc) {
+                best = Some((v, c));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_counts_incrementally() {
+        let mut pool = SketchPool::new(4);
+        pool.add_set(&[0, 1]);
+        pool.add_set(&[1, 2]);
+        pool.add_set(&[1]);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.coverage(0), 1);
+        assert_eq!(pool.coverage(1), 3);
+        assert_eq!(pool.coverage(2), 1);
+        assert_eq!(pool.coverage(3), 0);
+        assert_eq!(pool.total_size(), 5);
+    }
+
+    #[test]
+    fn argmax_picks_heaviest() {
+        let mut pool = SketchPool::new(3);
+        pool.add_set(&[0]);
+        pool.add_set(&[2]);
+        pool.add_set(&[2]);
+        assert_eq!(pool.argmax(), Some((2, 2)));
+    }
+
+    #[test]
+    fn argmax_none_when_empty() {
+        let pool = SketchPool::new(3);
+        assert_eq!(pool.argmax(), None);
+        let mut pool = SketchPool::new(3);
+        pool.add_set(&[]);
+        assert_eq!(pool.argmax(), None);
+        assert_eq!(pool.len(), 1, "empty sets still count toward |R|");
+    }
+
+    #[test]
+    fn inverted_index_consistent() {
+        let mut pool = SketchPool::new(3);
+        pool.add_set(&[0, 2]);
+        pool.add_set(&[2]);
+        assert_eq!(pool.sets_of(2), &[0, 1]);
+        assert_eq!(pool.sets_of(0), &[0]);
+        assert_eq!(pool.set(0), &[0, 2]);
+        assert_eq!(pool.set(1), &[2]);
+    }
+
+    #[test]
+    fn reset_keeps_pool_usable() {
+        let mut pool = SketchPool::new(3);
+        pool.add_set(&[0, 1]);
+        pool.add_set(&[1]);
+        pool.reset();
+        assert_eq!(pool.len(), 0);
+        assert_eq!(pool.coverage(1), 0);
+        assert!(pool.touched_nodes().is_empty());
+        assert_eq!(pool.argmax(), None);
+        pool.add_set(&[2]);
+        assert_eq!(pool.argmax(), Some((2, 1)));
+        assert_eq!(pool.sets_of(1), &[] as &[u32]);
+        assert_eq!(pool.sets_of(2), &[0]);
+    }
+
+    #[test]
+    fn touched_nodes_tracks_first_touch() {
+        let mut pool = SketchPool::new(4);
+        pool.add_set(&[2, 0]);
+        pool.add_set(&[0, 3]);
+        assert_eq!(pool.touched_nodes(), &[2, 0, 3]);
+    }
+
+    #[test]
+    fn coverage_of_set_unions() {
+        let mut pool = SketchPool::new(4);
+        pool.add_set(&[0, 1]);
+        pool.add_set(&[1, 2]);
+        pool.add_set(&[3]);
+        assert_eq!(pool.coverage_of_set(&[0, 2]), 2);
+        assert_eq!(pool.coverage_of_set(&[1]), 2);
+        assert_eq!(pool.coverage_of_set(&[0, 1, 2, 3]), 3);
+        assert_eq!(pool.coverage_of_set(&[]), 0);
+    }
+}
