@@ -47,7 +47,7 @@ impl RmatParams {
 /// recursive quadrant descent, rejecting self loops and duplicates.
 pub fn rmat(scale: u32, m: usize, params: RmatParams, rng: &mut impl Rng) -> Vec<(NodeId, NodeId)> {
     params.validate();
-    assert!(scale >= 1 && scale <= 30, "scale must be in [1, 30]");
+    assert!((1..=30).contains(&scale), "scale must be in [1, 30]");
     let n: u64 = 1 << scale;
     assert!(
         (m as u128) <= (n as u128) * (n as u128 - 1),
@@ -57,9 +57,6 @@ pub fn rmat(scale: u32, m: usize, params: RmatParams, rng: &mut impl Rng) -> Vec
     let mut seen: HashSet<u64> = HashSet::with_capacity(m * 2);
     let mut edges = Vec::with_capacity(m);
     let ab = params.a + params.b;
-    let ac = params.a + params.c;
-    // Per-level noise keeps the degree distribution from collapsing onto a
-    // few exact hub ids (standard "smoothing" variant).
     while edges.len() < m {
         let mut u = 0u64;
         let mut v = 0u64;
@@ -73,7 +70,6 @@ pub fn rmat(scale: u32, m: usize, params: RmatParams, rng: &mut impl Rng) -> Vec
             u = (u << 1) | u64::from(!row);
             v = (v << 1) | u64::from(!col);
         }
-        let _ = ac;
         if u == v {
             continue;
         }

@@ -37,7 +37,7 @@ pub fn apply_weights(g: &Graph, model: WeightModel, rng: &mut impl Rng) -> Graph
             g.map_probabilities(|_, _, _| p)
         }
         WeightModel::Trivalency => {
-            g.map_probabilities(|_, _, _| TRIVALENCY[rng.random_range(0..3)])
+            g.map_probabilities(|_, _, _| TRIVALENCY[rng.random_range(0..3usize)])
         }
     }
 }

@@ -1,0 +1,239 @@
+//! Offline shim for the slice of proptest the workspace's property tests
+//! use: range and tuple strategies, `prop_map`, `proptest!` with an optional
+//! `#![proptest_config(..)]`, and the `prop_assert*` macros. Inputs are
+//! sampled uniformly (no shrinking); failures report the case number so a
+//! failing case can be replayed deterministically — generation is seeded per
+//! test from a fixed constant, so runs are reproducible.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Generates values of `Value` for property tests.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_strategy_halfopen {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_halfopen!(i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($( self.$idx.generate(rng), )+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// `Just(v)` — the constant strategy.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Per-test configuration; only `cases` is honoured by the shim.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Base seed for case generation; combined with the case index so each case
+/// is distinct but every run is identical.
+pub const BASE_SEED: u64 = 0x5EED_CAFE_F00D_0001;
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("property failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!("property failed: {} == {} ({:?} vs {:?})",
+                   stringify!($left), stringify!($right), l, r);
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!("property failed: {} != {} (both {:?})",
+                   stringify!($left), stringify!($right), l);
+        }
+    }};
+}
+
+/// Expands each `#[test] fn name(pat in strategy, ...) { body }` item into a
+/// plain `#[test]` that samples the strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(config.cases, stringify!($name), |rng| {
+                    $(
+                        let $pat = $crate::Strategy::generate(&($strategy), rng);
+                    )+
+                    $body
+                });
+            }
+        )*
+    };
+    (
+        $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name( $($pat in $strategy),+ ) $body )*
+        }
+    };
+}
+
+/// Runs `f` for `cases` deterministic inputs, labelling any panic with the
+/// failing case index.
+pub fn run_cases(cases: u32, test_name: &str, f: impl Fn(&mut SmallRng)) {
+    use rand::SeedableRng;
+    for case in 0..cases {
+        let mut rng = SmallRng::seed_from_u64(
+            BASE_SEED ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!("proptest shim: {test_name} failed at case {case}/{cases}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(n in 3usize..20, x in -1.0f64..2.0) {
+            prop_assert!((3..20).contains(&n));
+            prop_assert!((-1.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_map((a, b) in (0u32..10, 0u32..10).prop_map(|(a, b)| (a, a + b))) {
+            prop_assert!(b >= a);
+            prop_assert_ne!(b, a + 100);
+            prop_assert_eq!(a, a);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form(k in 1u64..5) {
+            prop_assert!((1..5).contains(&k));
+        }
+    }
+}

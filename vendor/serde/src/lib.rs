@@ -1,0 +1,178 @@
+//! Offline shim for the slice of `serde` the seedmin workspace uses: the
+//! [`Serialize`] trait (and its derive) as consumed by the sibling
+//! `serde_json` shim. Instead of serde's visitor architecture, `Serialize`
+//! here writes JSON text directly — `serde_json::to_string*` and the derive
+//! macro are the only consumers, so the simpler contract is equivalent.
+
+// Let the derive's generated `::serde::` paths resolve inside this crate's
+// own tests (the same trick the real serde uses).
+extern crate self as serde;
+
+/// A type that can write itself as a JSON value.
+pub trait Serialize {
+    fn write_json(&self, out: &mut String);
+}
+
+/// Re-export of the derive macro so `use serde::Serialize;` brings in both
+/// the trait and `#[derive(Serialize)]`, as with the real crate.
+pub use serde_derive::Serialize;
+
+macro_rules! impl_display_num {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_display_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Serialize for f64 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&format!("{self:?}"));
+        } else {
+            // JSON has no NaN/Inf; serde_json emits null for them.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn write_json(&self, out: &mut String) {
+        (*self as f64).write_json(out);
+    }
+}
+
+/// Escapes and quotes `s` as a JSON string literal.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.write_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    fn to_json(v: &impl Serialize) -> String {
+        let mut s = String::new();
+        v.write_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(to_json(&3usize), "3");
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&1.5f64), "1.5");
+        assert_eq!(to_json(&"a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(to_json(&vec![1, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json(&Some(7u32)), "7");
+        assert_eq!(to_json(&None::<u32>), "null");
+        assert_eq!(to_json(&(1u8, "x")), "[1,\"x\"]");
+    }
+
+    #[test]
+    fn derive_named_struct() {
+        #[derive(Serialize)]
+        struct Point {
+            x: f64,
+            label: String,
+            tags: Vec<u32>,
+        }
+        let p = Point { x: 0.5, label: "origin".into(), tags: vec![1, 2] };
+        assert_eq!(to_json(&p), r#"{"x":0.5,"label":"origin","tags":[1,2]}"#);
+    }
+}

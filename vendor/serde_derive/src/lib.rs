@@ -1,0 +1,120 @@
+//! Offline `#[derive(Serialize)]` shim. Handles the shapes the workspace
+//! actually derives on — structs with named fields (plus unit structs) —
+//! without syn/quote, by walking the raw token stream.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (doc comments arrive as `#[doc = ...]`) and
+    // visibility, then expect `struct Name`.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(_)) = tokens.peek() {
+                    tokens.next(); // pub(crate) etc.
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                panic!("this serde shim only derives Serialize for structs");
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("derive input must be a struct");
+
+    // Find the field block. A unit struct (`struct X;`) has none; a tuple
+    // struct would show a parenthesis group, which we reject explicitly.
+    let mut fields: Vec<String> = Vec::new();
+    for tt in tokens {
+        match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                fields = parse_named_fields(g.stream());
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("this serde shim does not derive Serialize for tuple structs");
+            }
+            _ => {}
+        }
+    }
+
+    let mut body = String::from("out.push('{');\n");
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!(
+            "::serde::write_json_string({field:?}, out);\nout.push(':');\n\
+             ::serde::Serialize::write_json(&self.{field}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');");
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn write_json(&self, out: &mut String) {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Extracts field names from the contents of a named-field struct body:
+/// skips per-field attributes and visibility, takes the ident before each
+/// top-level `:`, then skips the type up to the next top-level `,`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        while let Some(tt) = tokens.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next(); // the [...] group
+                }
+                TokenTree::Ident(id) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(_)) = tokens.peek() {
+                        tokens.next();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.next() else {
+            break;
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field `{field}`, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
