@@ -30,12 +30,12 @@ fn bench_rounding(c: &mut Criterion) {
     ] {
         for &eta in &[30usize, 300] {
             group.bench_with_input(BenchmarkId::new(name, eta), &eta, |bench, &eta| {
-                let mut residual = ResidualState::new(n);
+                let residual = ResidualState::new(n);
                 let mut sampler = MrrSampler::new(n);
                 let mut rng = SmallRng::seed_from_u64(9);
                 let mut out = Vec::new();
                 bench.iter(|| {
-                    sampler.sample_into(&g, Model::IC, &mut residual, eta, dist, &mut rng, &mut out);
+                    sampler.sample_into(&g, Model::IC, &residual, eta, dist, &mut rng, &mut out);
                     black_box(out.len())
                 });
             });

@@ -13,13 +13,13 @@ use std::hint::black_box;
 fn build_pool(sets: usize) -> SketchPool {
     let g = common::bench_graph();
     let n = g.n();
-    let mut residual = ResidualState::new(n);
+    let residual = ResidualState::new(n);
     let mut sampler = MrrSampler::new(n);
     let mut rng = SmallRng::seed_from_u64(4);
     let mut pool = SketchPool::new(n);
     let mut out = Vec::new();
     for _ in 0..sets {
-        sampler.sample_into(&g, Model::IC, &mut residual, 100, RootCountDist::Randomized, &mut rng, &mut out);
+        sampler.sample_into(&g, Model::IC, &residual, 100, RootCountDist::Randomized, &mut rng, &mut out);
         pool.add_set(&out);
     }
     pool

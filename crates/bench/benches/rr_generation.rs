@@ -34,14 +34,14 @@ fn bench_rr(c: &mut Criterion) {
         });
         group.bench_function(format!("multi_root_eta100/{model}"), |bench| {
             let mut sampler = MrrSampler::new(n);
-            let mut residual = ResidualState::new(n);
+            let residual = ResidualState::new(n);
             let mut rng = SmallRng::seed_from_u64(2);
             let mut out = Vec::new();
             bench.iter(|| {
                 sampler.sample_into(
                     &g,
                     model,
-                    &mut residual,
+                    &residual,
                     100,
                     smin_sampling::RootCountDist::Randomized,
                     &mut rng,

@@ -1,6 +1,8 @@
 //! Microbench: one full TRIM round (Algorithm 2) and one TRIM-B round
 //! (Algorithm 3, b ∈ {2, 8}) on the standard bench graph — the unit of work
-//! behind Figures 5 and 7.
+//! behind Figures 5 and 7 — swept across sketch-generation thread counts.
+//! Selections are bit-identical across the sweep (counter-derived per-set
+//! RNG streams), so the thread axis isolates pure wall-clock speedup.
 
 mod common;
 
@@ -13,50 +15,60 @@ use smin_core::TrimParams;
 use smin_diffusion::{Model, ResidualState};
 use std::hint::black_box;
 
+/// Thread counts swept by every group in this bench.
+const THREADS: &[usize] = &[1, 2, 4];
+
 fn bench_trim(c: &mut Criterion) {
     let g = common::bench_graph();
     let n = g.n();
-    let params = TrimParams::with_eps(0.5);
     let mut group = c.benchmark_group("trim_round");
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
 
-    for &eta in &[100usize, 400] {
-        group.bench_with_input(BenchmarkId::new("trim", eta), &eta, |bench, &eta| {
-            let mut scratch = TrimScratch::new(n);
-            let mut rng = SmallRng::seed_from_u64(3);
-            bench.iter(|| {
-                let mut residual = ResidualState::new(n);
-                let out = trim(&g, Model::IC, &mut residual, eta, &params, &mut scratch, &mut rng)
-                    .expect("valid");
-                black_box(out.node)
-            });
-        });
-        for &b in &[2usize, 8] {
+    for &threads in THREADS {
+        let params = TrimParams::with_eps(0.5).with_threads(threads);
+        for &eta in &[100usize, 400] {
             group.bench_with_input(
-                BenchmarkId::new(format!("trim_b{b}"), eta),
+                BenchmarkId::new(format!("trim/t{threads}"), eta),
                 &eta,
                 |bench, &eta| {
                     let mut scratch = TrimScratch::new(n);
                     let mut rng = SmallRng::seed_from_u64(3);
                     bench.iter(|| {
-                        let mut residual = ResidualState::new(n);
-                        let out = trim_b(
-                            &g,
-                            Model::IC,
-                            &mut residual,
-                            eta,
-                            b,
-                            &params,
-                            &mut scratch,
-                            &mut rng,
-                        )
-                        .expect("valid");
-                        black_box(out.seeds.len())
+                        let residual = ResidualState::new(n);
+                        let out =
+                            trim(&g, Model::IC, &residual, eta, &params, &mut scratch, &mut rng)
+                                .expect("valid");
+                        black_box(out.node)
                     });
                 },
             );
+            for &b in &[2usize, 8] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("trim_b{b}/t{threads}"), eta),
+                    &eta,
+                    |bench, &eta| {
+                        let mut scratch = TrimScratch::new(n);
+                        let mut rng = SmallRng::seed_from_u64(3);
+                        bench.iter(|| {
+                            let residual = ResidualState::new(n);
+                            let out = trim_b(
+                                &g,
+                                Model::IC,
+                                &residual,
+                                eta,
+                                b,
+                                &params,
+                                &mut scratch,
+                                &mut rng,
+                            )
+                            .expect("valid");
+                            black_box(out.seeds.len())
+                        });
+                    },
+                );
+            }
         }
     }
     group.finish();

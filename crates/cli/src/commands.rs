@@ -125,6 +125,18 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let eps: f64 = f.get_or("eps", 0.5)?;
     let seed: u64 = f.get_or("seed", 42)?;
     let worlds: usize = f.get_or("worlds", 1)?;
+    // Sketch-generation worker threads; selections are identical for every
+    // value, so this only changes wall-clock time. Default: SMIN_THREADS
+    // env var, then available parallelism.
+    let threads: Option<usize> = f.get_parsed("threads")?;
+    if threads == Some(0) {
+        return Err("--threads must be at least 1".into());
+    }
+    if threads.is_some() && algo != "asti" {
+        return Err(format!(
+            "--threads only applies to --algo asti ({algo} runs its own single-threaded sampler)"
+        ));
+    }
     let eta = match (f.get_parsed::<usize>("eta")?, f.get_parsed::<f64>("eta-frac")?) {
         (Some(e), None) => e,
         (None, Some(frac)) => ((g.n() as f64) * frac).round().max(1.0) as usize,
@@ -149,7 +161,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(w as u64));
                 let started = std::time::Instant::now();
                 let report = if algo == "asti" {
-                    asti(&g, model, eta, &AstiParams::batched(eps, batch), &mut oracle, &mut rng)
+                    let mut params = AstiParams::batched(eps, batch);
+                    params.trim.threads = threads;
+                    asti(&g, model, eta, &params, &mut oracle, &mut rng)
                 } else {
                     adapt_im(&g, model, eta, &AdaptImParams::with_eps(eps), &mut oracle, &mut rng)
                 }
@@ -253,6 +267,7 @@ mod tests {
 
         let run_args: Vec<String> = [
             "--graph", &path, "--algo", "asti", "--eta", "40", "--worlds", "2", "--seed", "1",
+            "--threads", "2",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -265,6 +280,27 @@ mod tests {
         let g1 = load_graph(&path).unwrap();
         let g2 = load_graph(&txt).unwrap();
         assert_eq!(g1.m(), g2.m());
+    }
+
+    #[test]
+    fn run_rejects_zero_threads() {
+        let dir = std::env::temp_dir().join("smin_cli_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g3.bin");
+        let path = path.to_str().unwrap().to_string();
+        let args: Vec<String> = ["--kind", "er", "--n", "50", "--m", "100", "--out", &path]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        generate(&args).unwrap();
+        let bad: Vec<String> = [
+            "--graph", &path, "--algo", "asti", "--eta", "5", "--threads", "0",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let err = run(&bad).unwrap_err();
+        assert!(err.contains("--threads"), "got: {err}");
     }
 
     #[test]

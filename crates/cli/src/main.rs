@@ -21,11 +21,15 @@ USAGE:
   asm stats <GRAPH>
   asm run --graph <GRAPH> --algo <asti|adaptim|ateuc> [--batch B]
           (--eta N | --eta-frac F) [--model ic|lt] [--eps F] [--seed N]
-          [--worlds K]
+          [--worlds K] [--threads T]
   asm convert <IN> <OUT>            # text <-> binary by extension (.bin)
 
 GRAPH files: '*.bin' = seedmin binary format, anything else = edge list
-(`u v [p]` per line, '#' comments).";
+(`u v [p]` per line, '#' comments).
+
+--threads controls the sketch-generation worker pool for asti (default:
+SMIN_THREADS env var, then all available cores). Seed selections are
+bit-identical for every thread count.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

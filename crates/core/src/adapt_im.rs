@@ -134,22 +134,31 @@ fn select_max_spread(
     let sampler = &mut scratch.sampler;
     pool.reset();
 
-    let mut set_buf: Vec<NodeId> = Vec::new();
-    let mut root_buf: Vec<NodeId> = Vec::new();
-    let mut grow_to = |target: usize,
-                       pool: &mut smin_sampling::SketchPool,
-                       sampler: &mut smin_sampling::MrrSampler,
-                       mut rng: &mut dyn rand::RngCore,
-                       residual: &mut ResidualState| {
+    // A named generic fn (not a `&mut dyn RngCore` closure) keeps the RR
+    // sampling loop fully monomorphized over the caller's RNG type.
+    #[allow(clippy::too_many_arguments)]
+    fn grow_to<R: Rng>(
+        target: usize,
+        g: &Graph,
+        model: Model,
+        pool: &mut smin_sampling::SketchPool,
+        sampler: &mut smin_sampling::MrrSampler,
+        residual: &mut ResidualState,
+        root_buf: &mut Vec<NodeId>,
+        set_buf: &mut Vec<NodeId>,
+        rng: &mut R,
+    ) {
         while pool.len() < target {
             // single-root RR set: k = 1 uniform alive root
-            residual.sample_k_distinct(1, &mut rng, &mut root_buf);
-            sampler.reverse_sample_into(g, model, residual.alive_mask(), &root_buf, &mut rng, &mut set_buf);
-            pool.add_set(&set_buf);
+            residual.sample_k_distinct(1, rng, root_buf);
+            sampler.reverse_sample_into(g, model, residual.alive_mask(), root_buf, rng, set_buf);
+            pool.add_set(set_buf);
         }
-    };
+    }
 
-    grow_to(sched.theta0, pool, sampler, rng, residual);
+    let mut set_buf: Vec<NodeId> = Vec::new();
+    let mut root_buf: Vec<NodeId> = Vec::new();
+    grow_to(sched.theta0, g, model, pool, sampler, residual, &mut root_buf, &mut set_buf, rng);
 
     let mut iterations = 0;
     loop {
@@ -166,7 +175,7 @@ fn select_max_spread(
             return (node, pool.len(), est);
         }
         let target = (pool.len() * 2).min(sched.theta_max);
-        grow_to(target, pool, sampler, rng, residual);
+        grow_to(target, g, model, pool, sampler, residual, &mut root_buf, &mut set_buf, rng);
     }
 }
 

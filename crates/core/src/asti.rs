@@ -81,13 +81,13 @@ pub fn asti(
         // Line 3: (approximate) truncated-influence maximization.
         let started = Instant::now();
         let (seeds, sets_generated, est) = if params.batch == 1 {
-            let out = trim(g, model, &mut residual, eta_i, &params.trim, &mut scratch, rng)?;
+            let out = trim(g, model, &residual, eta_i, &params.trim, &mut scratch, rng)?;
             (vec![out.node], out.sets_generated, out.est_truncated_spread)
         } else {
             let out = trim_b(
                 g,
                 model,
-                &mut residual,
+                &residual,
                 eta_i,
                 params.batch,
                 &params.trim,

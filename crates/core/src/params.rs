@@ -16,6 +16,12 @@ pub struct TrimParams {
     /// bound worst-case latency (forfeiting the formal guarantee for that
     /// round).
     pub theta_cap: Option<usize>,
+    /// Worker threads for sketch generation. `None` resolves via the
+    /// `SMIN_THREADS` environment variable, then the machine's available
+    /// parallelism. Sketch pools — and therefore seed selections — are
+    /// bit-identical for every thread count (per-set counter-derived RNG
+    /// streams), so this is purely a performance knob.
+    pub threads: Option<usize>,
 }
 
 impl TrimParams {
@@ -25,7 +31,14 @@ impl TrimParams {
             eps,
             root_dist: RootCountDist::Randomized,
             theta_cap: None,
+            threads: None,
         }
+    }
+
+    /// Sets an explicit sketch-generation thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
     }
 
     /// Validates `ε`.
@@ -96,6 +109,14 @@ mod tests {
         assert_eq!(p.trim.eps, 0.5);
         assert_eq!(p.batch, 1);
         assert_eq!(p.trim.root_dist, RootCountDist::Randomized);
+        assert_eq!(p.trim.threads, None, "thread count auto-resolves by default");
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn with_threads_sets_explicit_count() {
+        let p = TrimParams::with_eps(0.5).with_threads(4);
+        assert_eq!(p.threads, Some(4));
         assert!(p.validate().is_ok());
     }
 

@@ -24,7 +24,7 @@ use rand::Rng;
 use smin_diffusion::{Model, ResidualState};
 use smin_graph::{Graph, NodeId};
 use smin_sampling::bounds::{coverage_lower_bound, coverage_upper_bound};
-use smin_sampling::{MrrSampler, SketchPool};
+use smin_sampling::{resolve_threads, MrrSampler, SketchGenPool, SketchJob, SketchPool};
 
 /// Outcome of one TRIM round.
 #[derive(Clone, Debug)]
@@ -46,10 +46,12 @@ pub struct TrimOutput {
     pub edges_examined: usize,
 }
 
-/// Reusable cross-round scratch (sketch pool + sampler buffers).
+/// Reusable cross-round scratch (sketch pool, single-root sampler for the
+/// baselines, and the parallel sketch-generation pool).
 pub struct TrimScratch {
     pub(crate) pool: SketchPool,
     pub(crate) sampler: MrrSampler,
+    pub(crate) sketch_gen: SketchGenPool,
 }
 
 impl TrimScratch {
@@ -58,7 +60,14 @@ impl TrimScratch {
         TrimScratch {
             pool: SketchPool::new(n),
             sampler: MrrSampler::new(n),
+            sketch_gen: SketchGenPool::new(n),
         }
+    }
+
+    /// The sketch pool as of the last round (tests inspect it to pin the
+    /// cross-thread determinism contract).
+    pub fn pool(&self) -> &SketchPool {
+        &self.pool
     }
 }
 
@@ -116,13 +125,16 @@ pub(crate) fn schedule(
 
 /// Runs one round of TRIM on the residual graph.
 ///
-/// `residual` is only mutated transiently (root sampling permutes its dense
-/// list); no node is killed. Returns an error for invalid parameters or an
-/// exhausted residual graph.
+/// The residual graph is borrowed immutably: sketch generation works off a
+/// [`ResidualState::snapshot`] shared by every worker thread, and root
+/// sampling draws indices instead of permuting the alive list. The caller's
+/// `rng` is consumed exactly once — for the round's base seed — and each
+/// sketch derives its own counter-based RNG stream, so the generated pool
+/// (and hence the selection) is bit-identical for every thread count.
 pub fn trim(
     g: &Graph,
     model: Model,
-    residual: &mut ResidualState,
+    residual: &ResidualState,
     eta_i: usize,
     params: &TrimParams,
     scratch: &mut TrimScratch,
@@ -137,24 +149,20 @@ pub fn trim(
 
     let sched = schedule(n_i, eta_i, params.eps, 1, 1.0, (n_i as f64).ln(), params.theta_cap);
 
-    let pool = &mut scratch.pool;
-    let sampler = &mut scratch.sampler;
-    pool.reset();
-    let edges_before = sampler.edges_examined;
-
-    let mut set_buf: Vec<NodeId> = Vec::new();
-    let mut grow_to = |target: usize,
-                       pool: &mut SketchPool,
-                       sampler: &mut MrrSampler,
-                       mut rng: &mut dyn rand::RngCore,
-                       residual: &mut ResidualState| {
-        while pool.len() < target {
-            sampler.sample_into(g, model, residual, eta_i, params.root_dist, &mut rng, &mut set_buf);
-            pool.add_set(&set_buf);
-        }
+    let threads = resolve_threads(params.threads);
+    let job = SketchJob {
+        graph: g,
+        model,
+        snapshot: residual.snapshot(),
+        eta_i,
+        dist: params.root_dist,
+        base_seed: rng.next_u64(),
     };
+    let TrimScratch { pool, sketch_gen, .. } = scratch;
+    pool.reset();
+    let mut edges_examined = 0usize;
 
-    grow_to(sched.theta0, pool, sampler, rng, residual);
+    edges_examined += sketch_gen.generate(&job, sched.theta0, threads, pool).edges_examined;
 
     let mut iterations = 0;
     loop {
@@ -176,11 +184,11 @@ pub fn trim(
                 iterations,
                 est_truncated_spread: eta_i as f64 * coverage as f64 / pool.len() as f64,
                 certificate,
-                edges_examined: sampler.edges_examined - edges_before,
+                edges_examined,
             });
         }
         let target = (pool.len() * 2).min(sched.theta_max);
-        grow_to(target, pool, sampler, rng, residual);
+        edges_examined += sketch_gen.generate(&job, target, threads, pool).edges_examined;
     }
 }
 
@@ -226,10 +234,10 @@ mod tests {
         let g = trap_graph();
         let params = TrimParams::with_eps(0.3);
         for seed in 0..20u64 {
-            let mut residual = ResidualState::new(g.n());
+            let residual = ResidualState::new(g.n());
             let mut scratch = TrimScratch::new(g.n());
             let mut rng = SmallRng::seed_from_u64(seed);
-            let out = trim(&g, Model::IC, &mut residual, 3, &params, &mut scratch, &mut rng).unwrap();
+            let out = trim(&g, Model::IC, &residual, 3, &params, &mut scratch, &mut rng).unwrap();
             assert_ne!(out.node, 3, "seed {seed}: TRIM fell into the vanilla trap");
             assert!(
                 out.node == 0 || out.node == 4,
@@ -249,10 +257,10 @@ mod tests {
         let params = TrimParams::with_eps(eps);
         let exact = [1.75, 2.0, 2.0, 1.0]; // E[Γ(v | ∅)] at η = 2
         for seed in 0..30u64 {
-            let mut residual = ResidualState::new(4);
+            let residual = ResidualState::new(4);
             let mut scratch = TrimScratch::new(4);
             let mut rng = SmallRng::seed_from_u64(seed);
-            let out = trim(&g, Model::IC, &mut residual, 2, &params, &mut scratch, &mut rng).unwrap();
+            let out = trim(&g, Model::IC, &residual, 2, &params, &mut scratch, &mut rng).unwrap();
             let guarantee = (1.0 - 1.0 / std::f64::consts::E) * (1.0 - eps) * 2.0;
             assert!(
                 exact[out.node as usize] >= guarantee,
@@ -267,10 +275,10 @@ mod tests {
     fn certificate_meets_target_without_cap() {
         let g = figure2();
         let params = TrimParams::with_eps(0.5);
-        let mut residual = ResidualState::new(4);
+        let residual = ResidualState::new(4);
         let mut scratch = TrimScratch::new(4);
         let mut rng = SmallRng::seed_from_u64(1);
-        let out = trim(&g, Model::IC, &mut residual, 2, &params, &mut scratch, &mut rng).unwrap();
+        let out = trim(&g, Model::IC, &residual, 2, &params, &mut scratch, &mut rng).unwrap();
         let eps_hat = 99.0 * 0.5 / 99.5;
         assert!(
             out.certificate >= 1.0 - eps_hat || out.sets_generated >= 1,
@@ -285,10 +293,10 @@ mod tests {
     fn estimate_close_to_exact_truncated_spread() {
         let g = figure2();
         let params = TrimParams::with_eps(0.1);
-        let mut residual = ResidualState::new(4);
+        let residual = ResidualState::new(4);
         let mut scratch = TrimScratch::new(4);
         let mut rng = SmallRng::seed_from_u64(2);
-        let out = trim(&g, Model::IC, &mut residual, 2, &params, &mut scratch, &mut rng).unwrap();
+        let out = trim(&g, Model::IC, &residual, 2, &params, &mut scratch, &mut rng).unwrap();
         // E[Γ̃(v2)] ∈ [(1−1/e)·2, 2]; the empirical estimate must land near
         // that interval.
         assert!(
@@ -309,7 +317,7 @@ mod tests {
             residual.kill_all(&[1, 2]);
             let mut scratch = TrimScratch::new(4);
             let mut rng = SmallRng::seed_from_u64(seed);
-            let out = trim(&g, Model::IC, &mut residual, 1, &params, &mut scratch, &mut rng).unwrap();
+            let out = trim(&g, Model::IC, &residual, 1, &params, &mut scratch, &mut rng).unwrap();
             assert!(out.node == 0 || out.node == 3);
         }
     }
@@ -319,10 +327,10 @@ mod tests {
         let g = figure2();
         let mut params = TrimParams::with_eps(0.05);
         params.theta_cap = Some(100);
-        let mut residual = ResidualState::new(4);
+        let residual = ResidualState::new(4);
         let mut scratch = TrimScratch::new(4);
         let mut rng = SmallRng::seed_from_u64(3);
-        let out = trim(&g, Model::IC, &mut residual, 2, &params, &mut scratch, &mut rng).unwrap();
+        let out = trim(&g, Model::IC, &residual, 2, &params, &mut scratch, &mut rng).unwrap();
         assert!(out.sets_generated <= 100);
     }
 
@@ -335,7 +343,7 @@ mod tests {
         let mut scratch = TrimScratch::new(4);
         let mut rng = SmallRng::seed_from_u64(4);
         assert!(matches!(
-            trim(&g, Model::IC, &mut residual, 1, &params, &mut scratch, &mut rng),
+            trim(&g, Model::IC, &residual, 1, &params, &mut scratch, &mut rng),
             Err(AsmError::EmptyGraph)
         ));
     }
@@ -362,10 +370,10 @@ mod tests {
         b.add_edge_p(1, 2, 0.9).unwrap();
         let g = b.build().unwrap();
         let params = TrimParams::with_eps(0.5);
-        let mut residual = ResidualState::new(3);
+        let residual = ResidualState::new(3);
         let mut scratch = TrimScratch::new(3);
         let mut rng = SmallRng::seed_from_u64(5);
-        let out = trim(&g, Model::LT, &mut residual, 2, &params, &mut scratch, &mut rng).unwrap();
+        let out = trim(&g, Model::LT, &residual, 2, &params, &mut scratch, &mut rng).unwrap();
         assert_eq!(out.node, 0, "source of the chain dominates");
     }
 }

@@ -17,7 +17,7 @@ use smin_diffusion::{Model, ResidualState};
 use smin_graph::{Graph, NodeId};
 use smin_sampling::bounds::{coverage_lower_bound, coverage_upper_bound};
 use smin_sampling::coverage::rho_b;
-use smin_sampling::greedy_max_coverage;
+use smin_sampling::{greedy_max_coverage, resolve_threads, SketchJob};
 
 /// Outcome of one TRIM-B round.
 #[derive(Clone, Debug)]
@@ -51,12 +51,14 @@ pub(crate) fn ln_binomial(n: usize, b: usize) -> f64 {
 }
 
 /// Runs one round of TRIM-B on the residual graph, selecting up to `b`
-/// seeds.
+/// seeds. Sketch generation shares TRIM's deterministic parallel path: an
+/// immutable residual snapshot plus counter-derived per-set RNG streams, so
+/// the selected batch is identical for every thread count.
 #[allow(clippy::too_many_arguments)]
 pub fn trim_b(
     g: &Graph,
     model: Model,
-    residual: &mut ResidualState,
+    residual: &ResidualState,
     eta_i: usize,
     b: usize,
     params: &TrimParams,
@@ -77,24 +79,20 @@ pub fn trim_b(
 
     let sched = schedule(n_i, eta_i, params.eps, b, rho, ln_binomial(n_i, b), params.theta_cap);
 
-    let pool = &mut scratch.pool;
-    let sampler = &mut scratch.sampler;
-    pool.reset();
-    let edges_before = sampler.edges_examined;
-
-    let mut set_buf: Vec<NodeId> = Vec::new();
-    let mut grow_to = |target: usize,
-                       pool: &mut smin_sampling::SketchPool,
-                       sampler: &mut smin_sampling::MrrSampler,
-                       mut rng: &mut dyn rand::RngCore,
-                       residual: &mut ResidualState| {
-        while pool.len() < target {
-            sampler.sample_into(g, model, residual, eta_i, params.root_dist, &mut rng, &mut set_buf);
-            pool.add_set(&set_buf);
-        }
+    let threads = resolve_threads(params.threads);
+    let job = SketchJob {
+        graph: g,
+        model,
+        snapshot: residual.snapshot(),
+        eta_i,
+        dist: params.root_dist,
+        base_seed: rng.next_u64(),
     };
+    let TrimScratch { pool, sketch_gen, .. } = scratch;
+    pool.reset();
+    let mut edges_examined = 0usize;
 
-    grow_to(sched.theta0, pool, sampler, rng, residual);
+    edges_examined += sketch_gen.generate(&job, sched.theta0, threads, pool).edges_examined;
 
     let mut iterations = 0;
     loop {
@@ -117,11 +115,11 @@ pub fn trim_b(
                 iterations,
                 est_truncated_spread: eta_i as f64 * coverage as f64 / pool.len() as f64,
                 certificate,
-                edges_examined: sampler.edges_examined - edges_before,
+                edges_examined,
             });
         }
         let target = (pool.len() * 2).min(sched.theta_max);
-        grow_to(target, pool, sampler, rng, residual);
+        edges_examined += sketch_gen.generate(&job, target, threads, pool).edges_examined;
     }
 }
 
@@ -151,11 +149,11 @@ mod tests {
         let params = TrimParams::with_eps(0.3);
         let mut hits = 0;
         for seed in 0..20u64 {
-            let mut residual = ResidualState::new(8);
+            let residual = ResidualState::new(8);
             let mut scratch = TrimScratch::new(8);
             let mut rng = SmallRng::seed_from_u64(seed);
             let out =
-                trim_b(&g, Model::IC, &mut residual, 6, 2, &params, &mut scratch, &mut rng).unwrap();
+                trim_b(&g, Model::IC, &residual, 6, 2, &params, &mut scratch, &mut rng).unwrap();
             let mut s = out.seeds.clone();
             s.sort_unstable();
             if s == vec![0, 4] {
@@ -169,10 +167,10 @@ mod tests {
     fn degenerates_to_trim_when_b_is_one() {
         let g = two_stars();
         let params = TrimParams::with_eps(0.5);
-        let mut residual = ResidualState::new(8);
+        let residual = ResidualState::new(8);
         let mut scratch = TrimScratch::new(8);
         let mut rng = SmallRng::seed_from_u64(1);
-        let out = trim_b(&g, Model::IC, &mut residual, 4, 1, &params, &mut scratch, &mut rng).unwrap();
+        let out = trim_b(&g, Model::IC, &residual, 4, 1, &params, &mut scratch, &mut rng).unwrap();
         assert_eq!(out.seeds.len(), 1);
         assert!(out.seeds[0] == 0 || out.seeds[0] == 4);
     }
@@ -185,7 +183,7 @@ mod tests {
         residual.kill_all(&[2, 3, 4, 5, 6, 7]);
         let mut scratch = TrimScratch::new(8);
         let mut rng = SmallRng::seed_from_u64(2);
-        let out = trim_b(&g, Model::IC, &mut residual, 2, 8, &params, &mut scratch, &mut rng).unwrap();
+        let out = trim_b(&g, Model::IC, &residual, 2, 8, &params, &mut scratch, &mut rng).unwrap();
         assert!(out.seeds.len() <= 2);
         assert!(out.seeds.iter().all(|&v| v == 0 || v == 1));
     }
@@ -205,10 +203,10 @@ mod tests {
     fn estimate_bounded_by_eta() {
         let g = two_stars();
         let params = TrimParams::with_eps(0.5);
-        let mut residual = ResidualState::new(8);
+        let residual = ResidualState::new(8);
         let mut scratch = TrimScratch::new(8);
         let mut rng = SmallRng::seed_from_u64(3);
-        let out = trim_b(&g, Model::IC, &mut residual, 3, 4, &params, &mut scratch, &mut rng).unwrap();
+        let out = trim_b(&g, Model::IC, &residual, 3, 4, &params, &mut scratch, &mut rng).unwrap();
         assert!(out.est_truncated_spread <= 3.0 + 1e-9);
         assert!(out.est_truncated_spread > 0.0);
     }
@@ -217,11 +215,11 @@ mod tests {
     fn zero_batch_rejected() {
         let g = two_stars();
         let params = TrimParams::default();
-        let mut residual = ResidualState::new(8);
+        let residual = ResidualState::new(8);
         let mut scratch = TrimScratch::new(8);
         let mut rng = SmallRng::seed_from_u64(4);
         assert!(matches!(
-            trim_b(&g, Model::IC, &mut residual, 2, 0, &params, &mut scratch, &mut rng),
+            trim_b(&g, Model::IC, &residual, 2, 0, &params, &mut scratch, &mut rng),
             Err(AsmError::InvalidBatch(0))
         ));
     }

@@ -13,6 +13,8 @@
 //!   used to validate Theorem 3.3 and Example 2.3);
 //! * [`ResidualState`] — the residual graph `G_i` as an O(1)-update alive
 //!   mask with uniform k-distinct sampling, shared by the samplers;
+//!   [`ResidualSnapshot`] is its immutable, thread-shareable view and
+//!   [`DistinctDraw`] the matching non-permuting root draw;
 //! * [`oracle`] — the select→observe interface of Algorithm 1, with a
 //!   fixed-realization implementation (experiment protocol) and a lazily
 //!   sampled one (simulation deployments).
@@ -31,4 +33,4 @@ pub use log::{LoggingOracle, ObservationLog, ObservationStep, ReplayOracle};
 pub use model::Model;
 pub use oracle::{InfluenceOracle, RealizationOracle, SimulationOracle};
 pub use realization::Realization;
-pub use residual::ResidualState;
+pub use residual::{DistinctDraw, ResidualSnapshot, ResidualState};

@@ -9,9 +9,15 @@
 //! * a dense `alive_nodes` permutation with back-pointers — O(1) kill and
 //!   O(k) uniform sampling of k *distinct* roots (partial Fisher–Yates),
 //!   exactly what mRR-set generation needs.
+//!
+//! For parallel sketch generation, [`ResidualSnapshot`] exposes the same
+//! state as an immutable view that many worker threads can share, and
+//! [`DistinctDraw`] provides an *index-based* k-distinct draw (Floyd's
+//! algorithm over positions in the dense list) that never permutes the
+//! underlying state.
 
 use rand::Rng;
-use smin_graph::NodeId;
+use smin_graph::{GenStamp, NodeId};
 
 /// Alive/dead bookkeeping for the residual graph.
 #[derive(Clone, Debug)]
@@ -57,6 +63,17 @@ impl ResidualState {
         &self.alive_nodes
     }
 
+    /// An immutable view of the current residual graph, shareable across
+    /// threads. Valid until the next `kill`/`sample_k_distinct` (the borrow
+    /// checker enforces this).
+    #[inline]
+    pub fn snapshot(&self) -> ResidualSnapshot<'_> {
+        ResidualSnapshot {
+            alive: &self.alive,
+            alive_nodes: &self.alive_nodes,
+        }
+    }
+
     /// Removes `u` (just activated). No-op if already dead.
     pub fn kill(&mut self, u: NodeId) {
         if !self.alive[u as usize] {
@@ -100,6 +117,93 @@ impl ResidualState {
             self.pos[a as usize] = i as u32;
             self.pos[b as usize] = j as u32;
             out.push(a);
+        }
+    }
+}
+
+/// A read-only snapshot of the residual graph: the alive mask plus the dense
+/// alive list. `Copy` and `Sync`, so sketch-generation workers can share one
+/// snapshot without locking — root sampling goes through [`DistinctDraw`],
+/// which draws *positions* instead of permuting the list the way
+/// [`ResidualState::sample_k_distinct`] does.
+#[derive(Clone, Copy, Debug)]
+pub struct ResidualSnapshot<'a> {
+    alive: &'a [bool],
+    alive_nodes: &'a [NodeId],
+}
+
+impl<'a> ResidualSnapshot<'a> {
+    /// Builds a snapshot from raw parts (tests; production code uses
+    /// [`ResidualState::snapshot`]).
+    pub fn from_parts(alive: &'a [bool], alive_nodes: &'a [NodeId]) -> Self {
+        ResidualSnapshot { alive, alive_nodes }
+    }
+
+    /// Number of alive nodes `n_i`.
+    #[inline]
+    pub fn n_alive(&self) -> usize {
+        self.alive_nodes.len()
+    }
+
+    /// Read-only alive mask (for BFS loops).
+    #[inline]
+    pub fn alive_mask(&self) -> &'a [bool] {
+        self.alive
+    }
+
+    /// The alive nodes in unspecified order.
+    #[inline]
+    pub fn alive_nodes(&self) -> &'a [NodeId] {
+        self.alive_nodes
+    }
+
+    /// Whether `u` is alive in this snapshot.
+    #[inline]
+    pub fn is_alive(&self, u: NodeId) -> bool {
+        self.alive[u as usize]
+    }
+}
+
+/// Reusable scratch for uniform k-distinct draws from a [`ResidualSnapshot`].
+///
+/// Implements Floyd's algorithm over *positions* `0..n_alive`: each call
+/// consumes exactly `k` range draws from the RNG and touches `O(k)` memory,
+/// with a generation-stamped membership buffer ([`GenStamp`]) so repeated
+/// calls stay allocation-free. Unlike the partial Fisher–Yates in
+/// [`ResidualState::sample_k_distinct`] it never mutates the alive list,
+/// which is what lets one snapshot serve many threads.
+#[derive(Clone, Debug, Default)]
+pub struct DistinctDraw {
+    /// Marks positions already taken in the current draw.
+    taken: GenStamp,
+}
+
+impl DistinctDraw {
+    /// Fresh scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        DistinctDraw::default()
+    }
+
+    /// Samples `k` distinct alive nodes uniformly into `out` (cleared
+    /// first), in draw order. Panics if `k > n_alive`.
+    pub fn sample_from(
+        &mut self,
+        snap: &ResidualSnapshot<'_>,
+        k: usize,
+        rng: &mut impl Rng,
+        out: &mut Vec<NodeId>,
+    ) {
+        let n = snap.n_alive();
+        assert!(k <= n, "cannot sample {k} distinct nodes from {n} alive");
+        out.clear();
+        self.taken.begin(n);
+        let alive = snap.alive_nodes();
+        // Floyd's F2: positions (n-k)..n, remapping collisions to j itself.
+        for j in (n - k)..n {
+            let t = rng.random_range(0..=j);
+            let pick = if self.taken.is_marked(t) { j } else { t };
+            self.taken.mark(pick);
+            out.push(alive[pick]);
         }
     }
 }
@@ -198,5 +302,96 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut out = Vec::new();
         r.sample_k_distinct(4, &mut rng, &mut out);
+    }
+
+    #[test]
+    fn snapshot_views_current_state() {
+        let mut r = ResidualState::new(6);
+        r.kill_all(&[1, 4]);
+        let snap = r.snapshot();
+        assert_eq!(snap.n_alive(), 4);
+        assert!(!snap.is_alive(1));
+        assert!(snap.is_alive(0));
+        assert_eq!(snap.alive_mask(), r.alive_mask());
+        assert_eq!(snap.alive_nodes(), r.alive_nodes());
+    }
+
+    #[test]
+    fn distinct_draw_is_distinct_alive_and_immutable() {
+        let mut r = ResidualState::new(10);
+        r.kill_all(&[0, 1, 2]);
+        let before: Vec<NodeId> = r.alive_nodes().to_vec();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut draw = DistinctDraw::new();
+        let mut out = Vec::new();
+        for _ in 0..300 {
+            let snap = r.snapshot();
+            draw.sample_from(&snap, 4, &mut rng, &mut out);
+            assert_eq!(out.len(), 4);
+            let mut s = out.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 4, "samples must be distinct");
+            assert!(out.iter().all(|&u| r.is_alive(u)));
+        }
+        assert_eq!(r.alive_nodes(), before, "the draw must not permute state");
+    }
+
+    #[test]
+    fn distinct_draw_is_uniform() {
+        let r = ResidualState::new(5);
+        let mut rng = SmallRng::seed_from_u64(22);
+        let mut draw = DistinctDraw::new();
+        let mut out = Vec::new();
+        let mut counts = [0usize; 5];
+        let trials = 50_000;
+        for _ in 0..trials {
+            draw.sample_from(&r.snapshot(), 2, &mut rng, &mut out);
+            for &u in &out {
+                counts[u as usize] += 1;
+            }
+        }
+        // each node appears with probability 2/5
+        for (u, &c) in counts.iter().enumerate() {
+            let rate = c as f64 / trials as f64;
+            assert!((rate - 0.4).abs() < 0.02, "node {u}: rate = {rate}");
+        }
+    }
+
+    #[test]
+    fn distinct_draw_full_population() {
+        let r = ResidualState::new(7);
+        let mut rng = SmallRng::seed_from_u64(23);
+        let mut draw = DistinctDraw::new();
+        let mut out = Vec::new();
+        draw.sample_from(&r.snapshot(), 7, &mut rng, &mut out);
+        let mut s = out.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..7).collect::<Vec<NodeId>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn distinct_draw_oversample_panics() {
+        let r = ResidualState::new(3);
+        let mut rng = SmallRng::seed_from_u64(24);
+        let mut draw = DistinctDraw::new();
+        let mut out = Vec::new();
+        draw.sample_from(&r.snapshot(), 4, &mut rng, &mut out);
+    }
+
+    #[test]
+    fn distinct_draw_deterministic_per_seed() {
+        let r = ResidualState::new(50);
+        let mut draw_a = DistinctDraw::new();
+        let mut draw_b = DistinctDraw::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for seed in 0..20u64 {
+            let mut rng_a = SmallRng::seed_from_u64(seed);
+            let mut rng_b = SmallRng::seed_from_u64(seed);
+            draw_a.sample_from(&r.snapshot(), 10, &mut rng_a, &mut a);
+            draw_b.sample_from(&r.snapshot(), 10, &mut rng_b, &mut b);
+            assert_eq!(a, b, "seed {seed}: draw must depend only on the RNG");
+        }
     }
 }

@@ -15,7 +15,9 @@
 //!   stand-ins for the SNAP datasets of the evaluation;
 //! * [`io`] — SNAP-compatible edge-list reading/writing;
 //! * [`components`] / [`degree`] — the statistics reported in Table 2 and
-//!   Figure 3.
+//!   Figure 3;
+//! * [`stamp`] — generation-stamped membership scratch shared by the
+//!   sampling hot paths (O(1) reset instead of per-query allocation).
 
 pub mod builder;
 pub mod components;
@@ -25,10 +27,12 @@ pub mod error;
 pub mod generators;
 pub mod io;
 pub mod ops;
+pub mod stamp;
 pub mod topics;
 pub mod weights;
 
 pub use builder::{DedupPolicy, GraphBuilder};
 pub use csr::{Graph, NodeId};
 pub use error::GraphError;
+pub use stamp::GenStamp;
 pub use weights::WeightModel;

@@ -1,0 +1,103 @@
+//! Generation-stamped membership scratch.
+//!
+//! Several hot paths need a transient "have I seen index `i` in *this*
+//! query?" set that is consulted thousands of times per adaptive round
+//! (distinct-root draws, coverage-union queries). Allocating
+//! `vec![false; n]` per query is exactly the kind of hidden O(n) cost that
+//! dominates small queries, and clearing the buffer afterwards costs O(n)
+//! again. [`GenStamp`] amortizes both: membership is "stamp equals the
+//! current generation", so starting a new query is a single counter bump,
+//! and the buffer is reused (and lazily grown) forever.
+
+/// A reusable membership set over indices `0..len`, reset in O(1) by
+/// bumping a generation counter.
+#[derive(Clone, Debug, Default)]
+pub struct GenStamp {
+    stamp: Vec<u32>,
+    gen: u32,
+}
+
+impl GenStamp {
+    /// Fresh scratch; the buffer is sized lazily by [`GenStamp::begin`].
+    pub fn new() -> Self {
+        GenStamp::default()
+    }
+
+    /// Starts a new query over indices `0..len`: grows the buffer if
+    /// needed and invalidates all previous marks. On the (u32) generation
+    /// wraparound the buffer is cleared eagerly so stale stamps from ~4
+    /// billion queries ago can never read as current.
+    pub fn begin(&mut self, len: usize) {
+        if self.stamp.len() < len {
+            self.stamp.resize(len, 0);
+        }
+        self.gen = match self.gen.checked_add(1) {
+            Some(g) => g,
+            None => {
+                self.stamp.fill(0);
+                1
+            }
+        };
+    }
+
+    /// Whether `i` has been marked since the last [`GenStamp::begin`].
+    #[inline]
+    pub fn is_marked(&self, i: usize) -> bool {
+        self.stamp[i] == self.gen
+    }
+
+    /// Marks `i`; returns `true` iff it was not already marked.
+    #[inline]
+    pub fn mark(&mut self, i: usize) -> bool {
+        if self.stamp[i] == self.gen {
+            false
+        } else {
+            self.stamp[i] = self.gen;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_reset_per_generation() {
+        let mut s = GenStamp::new();
+        s.begin(4);
+        assert!(s.mark(2));
+        assert!(!s.mark(2), "second mark reports already-present");
+        assert!(s.is_marked(2));
+        assert!(!s.is_marked(3));
+        s.begin(4);
+        assert!(!s.is_marked(2), "new generation invalidates old marks");
+        assert!(s.mark(2));
+    }
+
+    #[test]
+    fn grows_lazily_without_stale_marks() {
+        let mut s = GenStamp::new();
+        s.begin(2);
+        s.mark(0);
+        s.begin(5);
+        for i in 0..5 {
+            assert!(!s.is_marked(i));
+        }
+        s.mark(4);
+        assert!(s.is_marked(4));
+    }
+
+    #[test]
+    fn wraparound_clears_buffer() {
+        let mut s = GenStamp::new();
+        s.begin(3);
+        s.mark(1);
+        s.gen = u32::MAX; // simulate ~4 billion queries
+        s.begin(3);
+        assert_eq!(s.gen, 1);
+        for i in 0..3 {
+            assert!(!s.is_marked(i), "wraparound must not resurrect marks");
+        }
+    }
+}

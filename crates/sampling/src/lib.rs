@@ -13,15 +13,21 @@
 //! * [`coverage`] — greedy maximum coverage with the `ρ_b = 1 − (1−1/b)^b`
 //!   guarantee;
 //! * [`bounds`] — the martingale concentration bounds of Appendix A
-//!   (Lemma A.2) that drive the stopping rules.
+//!   (Lemma A.2) that drive the stopping rules;
+//! * [`parallel`] — deterministic multi-threaded sketch generation
+//!   (`std::thread` scoped workers + channels, chunked work-stealing) with
+//!   counter-derived per-set RNG streams, so the pool is bit-identical for
+//!   any thread count.
 
 pub mod bounds;
 pub mod coverage;
 pub mod mrr;
+pub mod parallel;
 pub mod pool;
 pub mod rr;
 
 pub use coverage::{greedy_max_coverage, lazy_greedy_max_coverage};
 pub use mrr::{sample_root_count, MrrSampler, RootCountDist};
+pub use parallel::{resolve_threads, GenStats, SketchGenPool, SketchJob};
 pub use pool::SketchPool;
 pub use rr::ReverseSampler;

@@ -16,7 +16,7 @@
 
 use crate::rr::ReverseSampler;
 use rand::Rng;
-use smin_diffusion::{Model, ResidualState};
+use smin_diffusion::{DistinctDraw, Model, ResidualSnapshot, ResidualState};
 use smin_graph::{Graph, NodeId};
 
 /// How to pick the number of roots `k` for each mRR set.
@@ -92,8 +92,13 @@ pub fn sample_root_count(
 
 /// Samples mRR sets on the residual graph: draws `k`, picks `k` distinct
 /// alive roots uniformly, and runs the consistent multi-root reverse BFS.
+///
+/// Root selection goes through an immutable [`ResidualSnapshot`] and an
+/// index-based [`DistinctDraw`], so sampling never mutates the residual
+/// state — one snapshot can feed any number of samplers concurrently.
 pub struct MrrSampler {
     reverse: ReverseSampler,
+    draw: DistinctDraw,
     roots_buf: Vec<NodeId>,
     /// Total edges examined across all samples (EPT accounting, Lemma 3.8).
     pub edges_examined: usize,
@@ -106,6 +111,7 @@ impl MrrSampler {
     pub fn new(n: usize) -> Self {
         MrrSampler {
             reverse: ReverseSampler::new(n),
+            draw: DistinctDraw::new(),
             roots_buf: Vec::new(),
             edges_examined: 0,
             sets_sampled: 0,
@@ -118,18 +124,35 @@ impl MrrSampler {
         &mut self,
         g: &Graph,
         model: Model,
-        residual: &mut ResidualState,
+        residual: &ResidualState,
         eta_i: usize,
         dist: RootCountDist,
         rng: &mut impl Rng,
         out: &mut Vec<NodeId>,
     ) -> usize {
-        let k = sample_root_count(residual.n_alive(), eta_i, dist, rng);
-        residual.sample_k_distinct(k, rng, &mut self.roots_buf);
+        self.sample_snapshot_into(g, model, &residual.snapshot(), eta_i, dist, rng, out)
+    }
+
+    /// Snapshot-based variant of [`MrrSampler::sample_into`]: the form the
+    /// parallel sketch workers use, where the residual graph is borrowed
+    /// immutably by every thread at once.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_snapshot_into(
+        &mut self,
+        g: &Graph,
+        model: Model,
+        snapshot: &ResidualSnapshot<'_>,
+        eta_i: usize,
+        dist: RootCountDist,
+        rng: &mut impl Rng,
+        out: &mut Vec<NodeId>,
+    ) -> usize {
+        let k = sample_root_count(snapshot.n_alive(), eta_i, dist, rng);
+        self.draw.sample_from(snapshot, k, rng, &mut self.roots_buf);
         let cost = self.reverse.sample_into(
             g,
             model,
-            Some(residual.alive_mask()),
+            Some(snapshot.alive_mask()),
             &self.roots_buf,
             rng,
             out,
@@ -162,7 +185,7 @@ impl MrrSampler {
         &mut self,
         g: &Graph,
         model: Model,
-        residual: &mut ResidualState,
+        residual: &ResidualState,
         eta_i: usize,
         dist: RootCountDist,
         rng: &mut impl Rng,
@@ -274,7 +297,7 @@ mod tests {
         let mut sampler = MrrSampler::new(6);
         let mut rng = SmallRng::seed_from_u64(7);
         for _ in 0..200 {
-            let set = sampler.sample(&g, Model::IC, &mut res, 2, RootCountDist::Randomized, &mut rng);
+            let set = sampler.sample(&g, Model::IC, &res, 2, RootCountDist::Randomized, &mut rng);
             assert!(!set.is_empty(), "roots are alive so the set is non-empty");
             assert!(set.iter().all(|&u| res.is_alive(u)));
         }
@@ -292,11 +315,11 @@ mod tests {
         b.add_edge_p(0, 2, 1.0).unwrap();
         b.add_edge_p(0, 3, 1.0).unwrap();
         let g = b.build().unwrap();
-        let mut res = ResidualState::new(4);
+        let res = ResidualState::new(4);
         let mut sampler = MrrSampler::new(4);
         let mut rng = SmallRng::seed_from_u64(8);
         for _ in 0..100 {
-            let set = sampler.sample(&g, Model::IC, &mut res, 2, RootCountDist::Randomized, &mut rng);
+            let set = sampler.sample(&g, Model::IC, &res, 2, RootCountDist::Randomized, &mut rng);
             assert!(set.contains(&0), "node 0 reaches every root");
         }
     }

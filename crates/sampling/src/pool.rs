@@ -5,7 +5,8 @@
 //! index. Both are maintained incrementally as sets arrive so a doubling
 //! never re-scans old sets.
 
-use smin_graph::NodeId;
+use smin_graph::{GenStamp, NodeId};
+use std::cell::RefCell;
 
 /// A pool of reverse-reachable sets over nodes `0..n`.
 #[derive(Clone, Debug)]
@@ -26,6 +27,9 @@ pub struct SketchPool {
     /// Sets that were sampled empty (all roots dead) still count toward
     /// `len()` — the estimator treats them as covering nothing.
     empty_sets: usize,
+    /// Interior mutability keeps `coverage_of_set` a `&self` query (it is
+    /// pure) while letting it reuse the stamp buffer across calls.
+    seen: RefCell<GenStamp>,
 }
 
 impl SketchPool {
@@ -39,6 +43,7 @@ impl SketchPool {
             coverage: vec![0; n],
             touched: Vec::new(),
             empty_sets: 0,
+            seen: RefCell::new(GenStamp::new()),
         }
     }
 
@@ -82,7 +87,14 @@ impl SketchPool {
     /// Adds one set; duplicates within `nodes` must already be removed
     /// (the samplers guarantee this).
     pub fn add_set(&mut self, nodes: &[NodeId]) {
-        let id = self.len() as u32;
+        let id = self.len();
+        // The inverted index stores set ids as u32; θ_max beyond u32::MAX
+        // would silently alias sets if this ever truncated.
+        assert!(
+            id < u32::MAX as usize,
+            "SketchPool holds {id} sets; adding more would overflow the u32 set-id space"
+        );
+        let id = id as u32;
         for &v in nodes {
             debug_assert!((v as usize) < self.n);
             self.node_sets[v as usize].push(id);
@@ -123,14 +135,15 @@ impl SketchPool {
     }
 
     /// `Λ_R(S)` for a set of nodes: number of sets hit by at least one
-    /// member. Computed with a scan over the members' set lists.
+    /// member. Computed with a scan over the members' set lists against a
+    /// reusable generation-stamped buffer — no allocation per call.
     pub fn coverage_of_set(&self, nodes: &[NodeId]) -> u32 {
-        let mut seen = vec![false; self.len()];
+        let mut seen = self.seen.borrow_mut();
+        seen.begin(self.len());
         let mut c = 0u32;
         for &v in nodes {
             for &s in self.sets_of(v) {
-                if !seen[s as usize] {
-                    seen[s as usize] = true;
+                if seen.mark(s as usize) {
                     c += 1;
                 }
             }
@@ -240,5 +253,37 @@ mod tests {
         assert_eq!(pool.coverage_of_set(&[1]), 2);
         assert_eq!(pool.coverage_of_set(&[0, 1, 2, 3]), 3);
         assert_eq!(pool.coverage_of_set(&[]), 0);
+    }
+
+    #[test]
+    fn coverage_of_set_reuses_stamp_buffer_correctly() {
+        // Repeated and interleaved queries must be independent: the stamp
+        // buffer is shared across calls and must never leak marks.
+        let mut pool = SketchPool::new(4);
+        pool.add_set(&[0, 1]);
+        pool.add_set(&[1, 2]);
+        for _ in 0..3 {
+            assert_eq!(pool.coverage_of_set(&[1]), 2);
+            assert_eq!(pool.coverage_of_set(&[0]), 1);
+            assert_eq!(pool.coverage_of_set(&[0, 2]), 2);
+        }
+        // Growing the pool after queries must grow the buffer too.
+        pool.add_set(&[3]);
+        assert_eq!(pool.coverage_of_set(&[0, 1, 2, 3]), 3);
+        // And reset + refill must not see stale stamps.
+        pool.reset();
+        pool.add_set(&[2]);
+        assert_eq!(pool.coverage_of_set(&[2]), 1);
+        assert_eq!(pool.coverage_of_set(&[0]), 0);
+    }
+
+    #[test]
+    fn clone_keeps_queries_independent() {
+        let mut pool = SketchPool::new(3);
+        pool.add_set(&[0, 1]);
+        let cloned = pool.clone();
+        assert_eq!(pool.coverage_of_set(&[0]), 1);
+        assert_eq!(cloned.coverage_of_set(&[0]), 1);
+        assert_eq!(cloned.coverage_of_set(&[0]), 1);
     }
 }

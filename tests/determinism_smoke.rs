@@ -1,11 +1,16 @@
 //! Workspace smoke test: the full ASTI pipeline is deterministic for a fixed
 //! RNG seed — same graph, same realization, same seed set, across two
-//! independent runs. This pins down the reproducibility contract every
-//! figure/table bin relies on.
+//! independent runs — **and across sketch-generation thread counts**: the
+//! per-set counter-derived RNG streams make the generated pool bit-identical
+//! whether it was produced by 1 worker or 8. This pins down the
+//! reproducibility contract every figure/table bin relies on.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use seedmin::algo::trim::{trim, TrimScratch};
+use seedmin::algo::trim_b::trim_b;
 use seedmin::prelude::*;
+use seedmin::sampling::SketchPool;
 
 fn run_once(seed: u64) -> (usize, Vec<u32>, usize) {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -27,6 +32,89 @@ fn asti_is_deterministic_for_equal_seeds() {
     assert_eq!(act1, act2, "activation accounting must be deterministic");
     assert!(act1 >= 40, "ASTI must reach the threshold");
     assert!(!seeds1.is_empty());
+}
+
+/// Shared fixture for the cross-thread tests: a mid-size Chung–Lu graph and
+/// a partially killed residual, so the snapshot path is exercised off the
+/// trivial all-alive state.
+fn thread_fixture() -> (Graph, ResidualState) {
+    let mut rng = SmallRng::seed_from_u64(0x7EAD);
+    let pairs = chung_lu_directed(600, 2_400, 2.1, &mut rng);
+    let g = assemble(600, &pairs, true, WeightModel::WeightedCascade, &mut rng).unwrap();
+    let mut residual = ResidualState::new(600);
+    residual.kill_all(&[1, 17, 99, 256, 420]);
+    (g, residual)
+}
+
+fn dump_pool(pool: &SketchPool) -> Vec<Vec<u32>> {
+    (0..pool.len() as u32).map(|i| pool.set(i).to_vec()).collect()
+}
+
+#[test]
+fn trim_selection_and_pool_identical_across_thread_counts() {
+    let (g, residual) = thread_fixture();
+    let mut baseline: Option<(u32, u32, usize, Vec<Vec<u32>>)> = None;
+    for threads in [1usize, 2, 8] {
+        let params = TrimParams::with_eps(0.4).with_threads(threads);
+        let mut scratch = TrimScratch::new(g.n());
+        let mut rng = SmallRng::seed_from_u64(0xA57);
+        let out = trim(&g, Model::IC, &residual, 60, &params, &mut scratch, &mut rng).unwrap();
+        let state = (out.node, out.coverage, out.sets_generated, dump_pool(scratch.pool()));
+        match &baseline {
+            None => baseline = Some(state),
+            Some(base) => {
+                assert_eq!(state.0, base.0, "{threads} threads picked a different seed");
+                assert_eq!(state.1, base.1, "{threads} threads: coverage diverged");
+                assert_eq!(state.2, base.2, "{threads} threads: |R| diverged");
+                assert_eq!(
+                    state.3, base.3,
+                    "{threads} threads: pool contents diverged from single-threaded"
+                );
+            }
+        }
+    }
+    let (_, _, sets, _) = baseline.unwrap();
+    assert!(sets > 0);
+}
+
+#[test]
+fn trim_b_batch_identical_across_thread_counts() {
+    let (g, residual) = thread_fixture();
+    let mut baseline: Option<(Vec<u32>, u32, Vec<Vec<u32>>)> = None;
+    for threads in [1usize, 2, 8] {
+        let params = TrimParams::with_eps(0.4).with_threads(threads);
+        let mut scratch = TrimScratch::new(g.n());
+        let mut rng = SmallRng::seed_from_u64(0xB47C);
+        let out =
+            trim_b(&g, Model::IC, &residual, 60, 4, &params, &mut scratch, &mut rng).unwrap();
+        let state = (out.seeds.clone(), out.coverage, dump_pool(scratch.pool()));
+        match &baseline {
+            None => baseline = Some(state),
+            Some(base) => assert_eq!(&state, base, "{threads} threads diverged"),
+        }
+    }
+}
+
+#[test]
+fn full_asti_run_identical_across_thread_counts() {
+    fn run(threads: usize) -> (Vec<u32>, usize) {
+        let mut rng = SmallRng::seed_from_u64(0xA571);
+        let pairs = chung_lu_directed(400, 1_600, 2.1, &mut rng);
+        let g = assemble(400, &pairs, true, WeightModel::WeightedCascade, &mut rng).unwrap();
+        let phi = Realization::sample(&g, Model::IC, &mut rng);
+        let mut oracle = RealizationOracle::new(&g, phi);
+        let mut params = AstiParams::with_eps(0.5);
+        params.trim = params.trim.with_threads(threads);
+        let report = asti(&g, Model::IC, 40, &params, &mut oracle, &mut rng).unwrap();
+        (report.seeds.clone(), report.total_activated)
+    }
+    let (seeds1, act1) = run(1);
+    for threads in [2usize, 8] {
+        let (seeds, act) = run(threads);
+        assert_eq!(seeds, seeds1, "{threads} threads changed the seed sequence");
+        assert_eq!(act, act1, "{threads} threads changed activation accounting");
+    }
+    assert!(act1 >= 40);
 }
 
 #[test]

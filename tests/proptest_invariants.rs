@@ -104,7 +104,7 @@ proptest! {
         let mut sampler = MrrSampler::new(n);
         let eta = (n / 2).max(1);
         for _ in 0..16 {
-            let set = sampler.sample(&g, Model::IC, &mut residual, eta, RootCountDist::Randomized, &mut rng);
+            let set = sampler.sample(&g, Model::IC, &residual, eta, RootCountDist::Randomized, &mut rng);
             prop_assert!(!set.is_empty());
             prop_assert!(set.iter().all(|&u| residual.is_alive(u)));
         }

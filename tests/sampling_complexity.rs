@@ -42,12 +42,12 @@ fn lemma38_ept_bound_on_star() {
     let m = g.m() as f64;
     for eta in [4usize, 32, 128] {
         let mut sampler = MrrSampler::new(n);
-        let mut residual = ResidualState::new(n);
+        let residual = ResidualState::new(n);
         let mut rng = SmallRng::seed_from_u64(eta as u64);
         let mut out = Vec::new();
         let sets = 2_000;
         for _ in 0..sets {
-            sampler.sample_into(&g, Model::IC, &mut residual, eta, RootCountDist::Randomized, &mut rng, &mut out);
+            sampler.sample_into(&g, Model::IC, &residual, eta, RootCountDist::Randomized, &mut rng, &mut out);
         }
         let per_set = sampler.edges_examined as f64 / sets as f64;
         let opt = eta as f64; // E[Γ(center)] = η
@@ -66,11 +66,11 @@ fn lemma38_cost_shrinks_with_opt_on_sparse_graph() {
     let n = 256;
     let g = isolated(n);
     let mut sampler = MrrSampler::new(n);
-    let mut residual = ResidualState::new(n);
+    let residual = ResidualState::new(n);
     let mut rng = SmallRng::seed_from_u64(1);
     let mut out = Vec::new();
     for _ in 0..500 {
-        sampler.sample_into(&g, Model::IC, &mut residual, 16, RootCountDist::Randomized, &mut rng, &mut out);
+        sampler.sample_into(&g, Model::IC, &residual, 16, RootCountDist::Randomized, &mut rng, &mut out);
     }
     assert_eq!(sampler.edges_examined, 0, "no edges to examine");
 }
@@ -84,10 +84,10 @@ fn lemma39_set_count_inverse_in_opt() {
     let params = TrimParams::with_eps(0.5);
 
     let run = |g: &seedmin::graph::Graph| {
-        let mut residual = ResidualState::new(n);
+        let residual = ResidualState::new(n);
         let mut scratch = TrimScratch::new(n);
         let mut rng = SmallRng::seed_from_u64(7);
-        trim(g, Model::IC, &mut residual, eta, &params, &mut scratch, &mut rng)
+        trim(g, Model::IC, &residual, eta, &params, &mut scratch, &mut rng)
             .expect("valid")
             .sets_generated
     };
@@ -108,10 +108,10 @@ fn lemma39_star_stops_after_first_check() {
     let n = 1024;
     let g = star(n);
     let params = TrimParams::with_eps(0.5);
-    let mut residual = ResidualState::new(n);
+    let residual = ResidualState::new(n);
     let mut scratch = TrimScratch::new(n);
     let mut rng = SmallRng::seed_from_u64(3);
-    let out = trim(&g, Model::IC, &mut residual, 64, &params, &mut scratch, &mut rng).unwrap();
+    let out = trim(&g, Model::IC, &residual, 64, &params, &mut scratch, &mut rng).unwrap();
     assert_eq!(out.node, 0, "the center dominates");
     assert!(
         out.iterations <= 3,
@@ -130,10 +130,10 @@ fn trim_set_count_scales_with_eta_over_opt() {
     let params = TrimParams::with_eps(0.5);
     let mut counts = Vec::new();
     for eta in [16usize, 64, 256] {
-        let mut residual = ResidualState::new(n);
+        let residual = ResidualState::new(n);
         let mut scratch = TrimScratch::new(n);
         let mut rng = SmallRng::seed_from_u64(11);
-        let out = trim(&g, Model::IC, &mut residual, eta, &params, &mut scratch, &mut rng).unwrap();
+        let out = trim(&g, Model::IC, &residual, eta, &params, &mut scratch, &mut rng).unwrap();
         counts.push(out.sets_generated as f64);
     }
     let max = counts.iter().cloned().fold(f64::MIN, f64::max);

@@ -189,7 +189,7 @@ fn sampler_realizes_the_exact_expectation() {
     for v in 0..4u32 {
         let expected = exact_estimator_expectation(g, &[v], eta, RootCountDist::Randomized);
         let mut sampler = MrrSampler::new(n);
-        let mut residual = ResidualState::new(n);
+        let residual = ResidualState::new(n);
         let mut rng = SmallRng::seed_from_u64(777 + v as u64);
         let trials = 60_000;
         let mut hits = 0usize;
@@ -197,7 +197,7 @@ fn sampler_realizes_the_exact_expectation() {
             let set = sampler.sample(
                 g,
                 Model::IC,
-                &mut residual,
+                &residual,
                 eta,
                 RootCountDist::Randomized,
                 &mut rng,
@@ -256,7 +256,7 @@ fn lt_sampler_realizes_the_exact_expectation() {
         let expected =
             exact_estimator_expectation_model(&g, Model::LT, &[v], eta, RootCountDist::Randomized);
         let mut sampler = MrrSampler::new(g.n());
-        let mut residual = ResidualState::new(g.n());
+        let residual = ResidualState::new(g.n());
         let mut rng = SmallRng::seed_from_u64(333 + v as u64);
         let trials = 50_000;
         let mut hits = 0usize;
@@ -264,7 +264,7 @@ fn lt_sampler_realizes_the_exact_expectation() {
             let set = sampler.sample(
                 &g,
                 Model::LT,
-                &mut residual,
+                &residual,
                 eta,
                 RootCountDist::Randomized,
                 &mut rng,

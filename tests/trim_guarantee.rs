@@ -40,11 +40,11 @@ fn trim_selection_meets_guarantee_with_margin() {
                 .collect();
             let opt = exact.iter().cloned().fold(f64::MIN, f64::max);
             for run in 0..6u64 {
-                let mut residual = ResidualState::new(g.n());
+                let residual = ResidualState::new(g.n());
                 let mut scratch = TrimScratch::new(g.n());
                 let mut rng = SmallRng::seed_from_u64(run * 31 + gi as u64);
                 let out =
-                    trim(g, Model::IC, &mut residual, eta, &params, &mut scratch, &mut rng)
+                    trim(g, Model::IC, &residual, eta, &params, &mut scratch, &mut rng)
                         .unwrap();
                 total += 1;
                 if exact[out.node as usize] < factor * opt - 1e-9 {
@@ -80,10 +80,10 @@ fn trim_b_selection_meets_batch_guarantee() {
                 }
             }
             for run in 0..4u64 {
-                let mut residual = ResidualState::new(g.n());
+                let residual = ResidualState::new(g.n());
                 let mut scratch = TrimScratch::new(g.n());
                 let mut rng = SmallRng::seed_from_u64(run * 17 + gi as u64);
-                let out = trim_b(g, Model::IC, &mut residual, eta, b, &params, &mut scratch, &mut rng)
+                let out = trim_b(g, Model::IC, &residual, eta, b, &params, &mut scratch, &mut rng)
                     .unwrap();
                 let achieved = exact_expected_truncated(g, Model::IC, &out.seeds, eta);
                 total += 1;
@@ -107,10 +107,10 @@ fn trim_estimate_brackets_exact_value() {
     let params = TrimParams::with_eps(0.1);
     for (gi, g) in instances().iter().enumerate() {
         let eta = 4;
-        let mut residual = ResidualState::new(g.n());
+        let residual = ResidualState::new(g.n());
         let mut scratch = TrimScratch::new(g.n());
         let mut rng = SmallRng::seed_from_u64(gi as u64);
-        let out = trim(g, Model::IC, &mut residual, eta, &params, &mut scratch, &mut rng).unwrap();
+        let out = trim(g, Model::IC, &residual, eta, &params, &mut scratch, &mut rng).unwrap();
         let exact = exact_expected_truncated(g, Model::IC, &[out.node], eta);
         assert!(
             out.est_truncated_spread <= exact * 1.15 + 0.1,
