@@ -15,5 +15,6 @@ pub fn bench_graph() -> Graph {
 pub fn bench_graph_sized(n: usize, m: usize) -> Graph {
     let mut rng = SmallRng::seed_from_u64(0xBEEF);
     let pairs = chung_lu_directed(n, m, 2.1, &mut rng);
-    assemble(n, &pairs, true, WeightModel::WeightedCascade, &mut rng).expect("valid generator output")
+    assemble(n, &pairs, true, WeightModel::WeightedCascade, &mut rng)
+        .expect("valid generator output")
 }

@@ -23,13 +23,18 @@ fn bench_asti(c: &mut Criterion) {
         let mut rng = SmallRng::seed_from_u64(10);
         let phi = Realization::sample(&g, model, &mut rng);
         for &b in &[1usize, 4] {
-            let name = if b == 1 { format!("asti/{model}") } else { format!("asti_b{b}/{model}") };
+            let name = if b == 1 {
+                format!("asti/{model}")
+            } else {
+                format!("asti_b{b}/{model}")
+            };
             group.bench_function(name, |bench| {
                 let params = AstiParams::batched(0.5, b);
                 let mut rng = SmallRng::seed_from_u64(11);
                 bench.iter(|| {
                     let mut oracle = RealizationOracle::new(&g, phi.clone());
-                    let report = asti(&g, model, eta, &params, &mut oracle, &mut rng).expect("valid");
+                    let report =
+                        asti(&g, model, eta, &params, &mut oracle, &mut rng).expect("valid");
                     black_box(report.num_seeds())
                 });
             });
@@ -39,7 +44,8 @@ fn bench_asti(c: &mut Criterion) {
             let mut rng = SmallRng::seed_from_u64(11);
             bench.iter(|| {
                 let mut oracle = RealizationOracle::new(&g, phi.clone());
-                let report = adapt_im(&g, model, eta, &params, &mut oracle, &mut rng).expect("valid");
+                let report =
+                    adapt_im(&g, model, eta, &params, &mut oracle, &mut rng).expect("valid");
                 black_box(report.num_seeds())
             });
         });

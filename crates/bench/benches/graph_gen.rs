@@ -13,26 +13,39 @@ fn bench_generators(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
     for &(n, m) in &[(2_000usize, 8_000usize), (10_000, 40_000)] {
-        group.bench_with_input(BenchmarkId::new("chung_lu", n), &(n, m), |bench, &(n, m)| {
-            let mut rng = SmallRng::seed_from_u64(8);
-            bench.iter(|| black_box(chung_lu_directed(n, m, 2.1, &mut rng).len()));
-        });
-        group.bench_with_input(BenchmarkId::new("erdos_renyi", n), &(n, m), |bench, &(n, m)| {
-            let mut rng = SmallRng::seed_from_u64(8);
-            bench.iter(|| black_box(erdos_renyi(n, m, &mut rng).len()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("chung_lu", n),
+            &(n, m),
+            |bench, &(n, m)| {
+                let mut rng = SmallRng::seed_from_u64(8);
+                bench.iter(|| black_box(chung_lu_directed(n, m, 2.1, &mut rng).len()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("erdos_renyi", n),
+            &(n, m),
+            |bench, &(n, m)| {
+                let mut rng = SmallRng::seed_from_u64(8);
+                bench.iter(|| black_box(erdos_renyi(n, m, &mut rng).len()));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("barabasi_albert", n), &n, |bench, &n| {
             let mut rng = SmallRng::seed_from_u64(8);
             bench.iter(|| black_box(barabasi_albert(n, 4, &mut rng).len()));
         });
-        group.bench_with_input(BenchmarkId::new("assemble_wc", n), &(n, m), |bench, &(n, m)| {
-            let mut rng = SmallRng::seed_from_u64(8);
-            let pairs = chung_lu_directed(n, m, 2.1, &mut rng);
-            bench.iter(|| {
-                let g = assemble(n, &pairs, true, WeightModel::WeightedCascade, &mut rng).unwrap();
-                black_box(g.m())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("assemble_wc", n),
+            &(n, m),
+            |bench, &(n, m)| {
+                let mut rng = SmallRng::seed_from_u64(8);
+                let pairs = chung_lu_directed(n, m, 2.1, &mut rng);
+                bench.iter(|| {
+                    let g =
+                        assemble(n, &pairs, true, WeightModel::WeightedCascade, &mut rng).unwrap();
+                    black_box(g.m())
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -28,7 +28,14 @@ fn bench_rr(c: &mut Criterion) {
             let mut roots = Vec::new();
             bench.iter(|| {
                 residual.sample_k_distinct(1, &mut rng, &mut roots);
-                sampler.sample_into(&g, model, Some(residual.alive_mask()), &roots, &mut rng, &mut out);
+                sampler.sample_into(
+                    &g,
+                    model,
+                    Some(residual.alive_mask()),
+                    &roots,
+                    &mut rng,
+                    &mut out,
+                );
                 black_box(out.len())
             });
         });

@@ -37,9 +37,16 @@ fn bench_trim(c: &mut Criterion) {
                     let mut rng = SmallRng::seed_from_u64(3);
                     bench.iter(|| {
                         let residual = ResidualState::new(n);
-                        let out =
-                            trim(&g, Model::IC, &residual, eta, &params, &mut scratch, &mut rng)
-                                .expect("valid");
+                        let out = trim(
+                            &g,
+                            Model::IC,
+                            &residual,
+                            eta,
+                            &params,
+                            &mut scratch,
+                            &mut rng,
+                        )
+                        .expect("valid");
                         black_box(out.node)
                     });
                 },

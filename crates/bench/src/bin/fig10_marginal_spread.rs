@@ -5,8 +5,8 @@
 //! Expected shape: decreasing in the seed index (adaptive submodularity)
 //! with realization-level noise.
 
-use smin_bench::{build_dataset, dataset_specs, format_table, write_json, Algo, Args};
 use smin_bench::harness::{run_algo, sample_realizations};
+use smin_bench::{build_dataset, dataset_specs, format_table, write_json, Algo, Args};
 use smin_diffusion::Model;
 
 fn main() {
@@ -17,7 +17,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    println!("== Figure 10: marginal spread vs seed index (IC) [{} tier] ==", args.tier);
+    println!(
+        "== Figure 10: marginal spread vs seed index (IC) [{} tier] ==",
+        args.tier
+    );
     let mut json = Vec::new();
     for spec in dataset_specs(args.tier) {
         if !args.selects(spec.name) {
@@ -28,7 +31,17 @@ fn main() {
         eprintln!("building {} ...", spec.name);
         let g = build_dataset(&spec, &args);
         let phis = sample_realizations(&g, Model::IC, args.num_realizations(), args.seed);
-        let res = run_algo(&g, Model::IC, eta, frac, Algo::Asti { b: 1 }, &phis, spec.name, args.eps, args.seed);
+        let res = run_algo(
+            &g,
+            Model::IC,
+            eta,
+            frac,
+            Algo::Asti { b: 1 },
+            &phis,
+            spec.name,
+            args.eps,
+            args.seed,
+        );
 
         println!("\n[{} | η/n = {frac} (η = {eta})]", spec.name);
         let longest = res
@@ -59,7 +72,11 @@ fn main() {
                     None => row.push("-".to_string()),
                 }
             }
-            row.push(if cnt > 0 { format!("{:.1}", sum / cnt as f64) } else { "-".into() });
+            row.push(if cnt > 0 {
+                format!("{:.1}", sum / cnt as f64)
+            } else {
+                "-".into()
+            });
             rows.push(row);
         }
         println!("{}", format_table(&rows));
@@ -77,7 +94,9 @@ fn main() {
         if !all_first.is_empty() && !all_last.is_empty() {
             let mf: f64 = all_first.iter().map(|&x| x as f64).sum::<f64>() / all_first.len() as f64;
             let ml: f64 = all_last.iter().map(|&x| x as f64).sum::<f64>() / all_last.len() as f64;
-            println!("mean marginal spread: first third = {mf:.1}, last third = {ml:.1} (diminishing ✓)");
+            println!(
+                "mean marginal spread: first third = {mf:.1}, last third = {ml:.1} (diminishing ✓)"
+            );
         }
         json.push(res);
     }

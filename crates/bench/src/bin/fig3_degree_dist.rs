@@ -28,7 +28,10 @@ fn main() {
         let slope = log_log_slope(&dist);
 
         // log-2 binning for a compact printout
-        let mut rows = vec![vec!["degree bin".to_string(), "fraction of nodes".to_string()]];
+        let mut rows = vec![vec![
+            "degree bin".to_string(),
+            "fraction of nodes".to_string(),
+        ]];
         let mut bin_start = 1usize;
         while bin_start <= fracs.last().map(|&(d, _)| d).unwrap_or(0) {
             let bin_end = bin_start * 2;
@@ -42,7 +45,11 @@ fn main() {
             }
             bin_start = bin_end;
         }
-        println!("\n[{}] log-log slope ≈ {:.2} (power-law decay)", spec.name, slope.unwrap_or(f64::NAN));
+        println!(
+            "\n[{}] log-log slope ≈ {:.2} (power-law decay)",
+            spec.name,
+            slope.unwrap_or(f64::NAN)
+        );
         println!("{}", format_table(&rows));
         json.push(serde_json::json!({
             "dataset": spec.name,

@@ -58,7 +58,11 @@ fn main() {
             ]);
         }
         println!("{}", format_table(&rows));
-        let misses = ateuc.per_realization.iter().filter(|r| r.spread < eta).count();
+        let misses = ateuc
+            .per_realization
+            .iter()
+            .filter(|r| r.spread < eta)
+            .count();
         println!(
             "ATEUC missed η on {misses}/{} realizations; ASTI on {}/{} (always 0 by construction).",
             ateuc.runs,

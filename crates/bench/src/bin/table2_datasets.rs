@@ -39,7 +39,12 @@ fn main() {
             spec.name.to_string(),
             g.n().to_string(),
             g.m().to_string(),
-            if spec.directed { "directed" } else { "undirected" }.to_string(),
+            if spec.directed {
+                "directed"
+            } else {
+                "undirected"
+            }
+            .to_string(),
             format!("{avg:.2}"),
             wcc.largest.to_string(),
             format!("{:.3}", wcc.largest as f64 / g.n() as f64),
@@ -57,6 +62,8 @@ fn main() {
     println!("{}", format_table(&rows));
     println!("paper (Table 2): NetHEPT 15.2K/31.4K undirected avg 4.18 LWCC 6.80K;");
     println!("Epinions 132K/841K directed avg 13.4 LWCC 119K; Youtube 1.13M/2.99M");
-    println!("undirected avg 5.29 LWCC 1.13M; LiveJournal 4.85M/69.0M directed avg 28.5 LWCC 4.84M.");
+    println!(
+        "undirected avg 5.29 LWCC 1.13M; LiveJournal 4.85M/69.0M directed avg 28.5 LWCC 4.84M."
+    );
     let _ = write_json(&args.out_dir, "table2_datasets", &json);
 }

@@ -194,7 +194,10 @@ pub fn build_dataset(spec: &DatasetSpec, args: &Args) -> Graph {
                 &mut rng,
             );
         }
-        eprintln!("note: {path} not found; using synthetic stand-in for {}", spec.name);
+        eprintln!(
+            "note: {path} not found; using synthetic stand-in for {}",
+            spec.name
+        );
     }
 
     let mut rng = SmallRng::seed_from_u64(args.seed ^ fxhash(spec.name));
@@ -208,8 +211,14 @@ pub fn build_dataset(spec: &DatasetSpec, args: &Args) -> Graph {
             .expect("generator produces valid edges")
     } else {
         let pairs = chung_lu_directed(spec.n, spec.m / 2, gamma, &mut rng);
-        assemble(spec.n, &pairs, false, WeightModel::WeightedCascade, &mut rng)
-            .expect("generator produces valid edges")
+        assemble(
+            spec.n,
+            &pairs,
+            false,
+            WeightModel::WeightedCascade,
+            &mut rng,
+        )
+        .expect("generator produces valid edges")
     }
 }
 
@@ -239,7 +248,10 @@ mod tests {
 
     #[test]
     fn smoke_builds_and_is_wc_weighted() {
-        let args = Args { tier: Tier::Smoke, ..Args::default() };
+        let args = Args {
+            tier: Tier::Smoke,
+            ..Args::default()
+        };
         let specs = dataset_specs(Tier::Smoke);
         let g = build_dataset(&specs[0], &args);
         assert_eq!(g.n(), 1_520);
@@ -261,7 +273,10 @@ mod tests {
 
     #[test]
     fn undirected_standins_are_mirrored() {
-        let args = Args { tier: Tier::Smoke, ..Args::default() };
+        let args = Args {
+            tier: Tier::Smoke,
+            ..Args::default()
+        };
         let spec = &dataset_specs(Tier::Smoke)[0]; // nethept-like, undirected
         let g = build_dataset(spec, &args);
         let mut mirrored = 0usize;
@@ -277,7 +292,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let args = Args { tier: Tier::Smoke, ..Args::default() };
+        let args = Args {
+            tier: Tier::Smoke,
+            ..Args::default()
+        };
         let spec = &dataset_specs(Tier::Smoke)[1];
         let g1 = build_dataset(spec, &args);
         let g2 = build_dataset(spec, &args);

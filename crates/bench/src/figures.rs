@@ -57,7 +57,9 @@ pub fn sweep_dataset(
                 model,
                 algo.name()
             );
-            out.push(run_algo(&g, model, eta, frac, algo, &phis, spec.name, args.eps, args.seed));
+            out.push(run_algo(
+                &g, model, eta, frac, algo, &phis, spec.name, args.eps, args.seed,
+            ));
         }
     }
     out
@@ -115,7 +117,12 @@ pub fn run_figure(
     args: &Args,
     algos: &[Algo],
 ) -> Vec<RunResult> {
-    println!("== {title} [{} tier, {} realizations, ε = {}] ==", args.tier, args.num_realizations(), args.eps);
+    println!(
+        "== {title} [{} tier, {} realizations, ε = {}] ==",
+        args.tier,
+        args.num_realizations(),
+        args.eps
+    );
     let mut all = Vec::new();
     for spec in dataset_specs(args.tier) {
         if !args.selects(spec.name) {
@@ -179,7 +186,14 @@ mod tests {
     use super::*;
     use crate::args::Tier;
 
-    fn fake(algo: &str, ds: &str, frac: f64, seeds: f64, feasible: usize, runs: usize) -> RunResult {
+    fn fake(
+        algo: &str,
+        ds: &str,
+        frac: f64,
+        seeds: f64,
+        feasible: usize,
+        runs: usize,
+    ) -> RunResult {
         RunResult {
             algo: algo.to_string(),
             dataset: ds.to_string(),

@@ -127,8 +127,8 @@ pub fn run_algo(
                 let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(77 * r as u64 + 1));
                 let mut oracle = RealizationOracle::new(g, phi.clone());
                 let started = Instant::now();
-                let report = asti(g, model, eta, &params, &mut oracle, &mut rng)
-                    .expect("valid parameters");
+                let report =
+                    asti(g, model, eta, &params, &mut oracle, &mut rng).expect("valid parameters");
                 per.push(RealizationResult {
                     seeds: report.num_seeds(),
                     time_s: started.elapsed().as_secs_f64(),
@@ -139,7 +139,10 @@ pub fn run_algo(
             }
         }
         Algo::AdaptIm => {
-            let params = AdaptImParams { eps, theta_cap: Some(4_000_000) };
+            let params = AdaptImParams {
+                eps,
+                theta_cap: Some(4_000_000),
+            };
             for (r, phi) in realizations.iter().enumerate() {
                 let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(77 * r as u64 + 1));
                 let mut oracle = RealizationOracle::new(g, phi.clone());
@@ -159,8 +162,8 @@ pub fn run_algo(
             // Non-adaptive: one selection, evaluated on every realization.
             let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(13));
             let started = Instant::now();
-            let out = ateuc(g, model, eta, &AteucParams::default(), &mut rng)
-                .expect("valid parameters");
+            let out =
+                ateuc(g, model, eta, &AteucParams::default(), &mut rng).expect("valid parameters");
             let select_time = started.elapsed().as_secs_f64();
             let spreads = evaluate_on_realizations(g, &out.seeds, realizations);
             for spread in spreads {
@@ -230,7 +233,17 @@ mod tests {
     fn asti_run_is_always_feasible() {
         let g = tiny_graph();
         let phis = sample_realizations(&g, Model::IC, 3, 42);
-        let res = run_algo(&g, Model::IC, 30, 0.1, Algo::Asti { b: 1 }, &phis, "tiny", 0.5, 42);
+        let res = run_algo(
+            &g,
+            Model::IC,
+            30,
+            0.1,
+            Algo::Asti { b: 1 },
+            &phis,
+            "tiny",
+            0.5,
+            42,
+        );
         assert_eq!(res.runs, 3);
         assert!(res.always_feasible());
         assert!(res.seeds_mean >= 1.0);
@@ -264,7 +277,17 @@ mod tests {
     fn batched_asti_uses_multiples_of_b_seeds() {
         let g = tiny_graph();
         let phis = sample_realizations(&g, Model::IC, 2, 42);
-        let res = run_algo(&g, Model::IC, 40, 0.13, Algo::Asti { b: 4 }, &phis, "tiny", 0.5, 42);
+        let res = run_algo(
+            &g,
+            Model::IC,
+            40,
+            0.13,
+            Algo::Asti { b: 4 },
+            &phis,
+            "tiny",
+            0.5,
+            42,
+        );
         for r in &res.per_realization {
             assert_eq!(r.seeds % 4, 0, "TRIM-B selects whole batches");
         }

@@ -4,10 +4,12 @@ use crate::flags::Flags;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use smin_core::{adapt_im, asti, ateuc, AdaptImParams, AstiParams, AteucParams};
-use smin_diffusion::{InfluenceOracle, Model, Realization, RealizationOracle};
+use smin_diffusion::{InfluenceOracle, LoggingOracle, Model, Realization, RealizationOracle};
 use smin_graph::components::weakly_connected_components;
 use smin_graph::degree::{degree_distribution, log_log_slope, DegreeKind};
-use smin_graph::generators::{assemble, barabasi_albert, chung_lu_directed, erdos_renyi, watts_strogatz};
+use smin_graph::generators::{
+    assemble, barabasi_albert, chung_lu_directed, erdos_renyi, watts_strogatz,
+};
 use smin_graph::{io, Graph, WeightModel};
 
 /// Loads a graph by extension: `.bin` = binary format, else edge list.
@@ -37,10 +39,14 @@ fn parse_weights(spec: &str) -> Result<WeightModel, String> {
         "tri" => Ok(WeightModel::Trivalency),
         other => {
             if let Some(p) = other.strip_prefix("uniform:") {
-                let p: f64 = p.parse().map_err(|e| format!("bad uniform probability: {e}"))?;
+                let p: f64 = p
+                    .parse()
+                    .map_err(|e| format!("bad uniform probability: {e}"))?;
                 Ok(WeightModel::Uniform(p))
             } else {
-                Err(format!("unknown weight model '{other}' (wc | uniform:P | tri)"))
+                Err(format!(
+                    "unknown weight model '{other}' (wc | uniform:P | tri)"
+                ))
             }
         }
     }
@@ -75,7 +81,11 @@ pub fn generate(args: &[String]) -> Result<(), String> {
             let beta: f64 = f.get_or("beta", 0.1)?;
             (watts_strogatz(n, k, beta, &mut rng), false)
         }
-        other => return Err(format!("unknown generator '{other}' (chung-lu | ba | er | ws)")),
+        other => {
+            return Err(format!(
+                "unknown generator '{other}' (chung-lu | ba | er | ws)"
+            ))
+        }
     };
     let g = assemble(n, &pairs, directed, weights, &mut rng).map_err(|e| e.to_string())?;
     save_graph(&g, out)?;
@@ -86,17 +96,17 @@ pub fn generate(args: &[String]) -> Result<(), String> {
 /// `asm stats`
 pub fn stats(args: &[String]) -> Result<(), String> {
     let f = Flags::parse(args)?;
-    let path = f
-        .positional
-        .first()
-        .ok_or("usage: asm stats <GRAPH>")?;
+    let path = f.positional.first().ok_or("usage: asm stats <GRAPH>")?;
     let g = load_graph(path)?;
     let wcc = weakly_connected_components(&g);
     let dist = degree_distribution(&g, DegreeKind::Total);
     let max_deg = dist.last().map(|&(d, _)| d).unwrap_or(0);
     println!("nodes:            {}", g.n());
     println!("directed edges:   {}", g.m());
-    println!("avg out-degree:   {:.3}", g.m() as f64 / g.n().max(1) as f64);
+    println!(
+        "avg out-degree:   {:.3}",
+        g.m() as f64 / g.n().max(1) as f64
+    );
     println!("max total degree: {max_deg}");
     println!("wcc count:        {}", wcc.count);
     println!(
@@ -108,7 +118,10 @@ pub fn stats(args: &[String]) -> Result<(), String> {
         println!("log-log slope:    {slope:.2}");
     }
     println!("valid LT:         {}", g.is_valid_lt());
-    println!("memory:           {:.1} MiB", g.memory_bytes() as f64 / (1024.0 * 1024.0));
+    println!(
+        "memory:           {:.1} MiB",
+        g.memory_bytes() as f64 / (1024.0 * 1024.0)
+    );
     Ok(())
 }
 
@@ -137,7 +150,17 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "--threads only applies to --algo asti ({algo} runs its own single-threaded sampler)"
         ));
     }
-    let eta = match (f.get_parsed::<usize>("eta")?, f.get_parsed::<f64>("eta-frac")?) {
+    // Observation audit trail: record every select→observe interaction in
+    // diffusion::log's line format. One file per world (`PATH` for world 1,
+    // `PATH.wK` for world K > 1), replayable through `ReplayOracle`.
+    let audit: Option<&str> = f.get("audit");
+    if audit.is_some() && algo == "ateuc" {
+        return Err("--audit records adaptive campaigns (asti | adaptim), not ateuc".into());
+    }
+    let eta = match (
+        f.get_parsed::<usize>("eta")?,
+        f.get_parsed::<f64>("eta-frac")?,
+    ) {
         (Some(e), None) => e,
         (None, Some(frac)) => ((g.n() as f64) * frac).round().max(1.0) as usize,
         (Some(_), Some(_)) => return Err("give --eta or --eta-frac, not both".into()),
@@ -157,7 +180,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             for w in 0..worlds {
                 let mut world_rng = SmallRng::seed_from_u64(seed.wrapping_add(1000 + w as u64));
                 let phi = Realization::sample(&g, model, &mut world_rng);
-                let mut oracle = RealizationOracle::new(&g, phi);
+                let mut oracle = LoggingOracle::new(RealizationOracle::new(&g, phi), g.n());
                 let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(w as u64));
                 let started = std::time::Instant::now();
                 let report = if algo == "asti" {
@@ -165,10 +188,27 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     params.trim.threads = threads;
                     asti(&g, model, eta, &params, &mut oracle, &mut rng)
                 } else {
-                    adapt_im(&g, model, eta, &AdaptImParams::with_eps(eps), &mut oracle, &mut rng)
+                    adapt_im(
+                        &g,
+                        model,
+                        eta,
+                        &AdaptImParams::with_eps(eps),
+                        &mut oracle,
+                        &mut rng,
+                    )
                 }
                 .map_err(|e| e.to_string())?;
                 let secs = started.elapsed().as_secs_f64();
+                if let Some(path) = audit {
+                    let path = if w == 0 {
+                        path.to_string()
+                    } else {
+                        format!("{path}.w{}", w + 1)
+                    };
+                    std::fs::write(&path, oracle.log().to_text())
+                        .map_err(|e| format!("{path}: {e}"))?;
+                    println!("audit log -> {path} ({} steps)", oracle.log().steps.len());
+                }
                 println!(
                     "world {:>2}: {} seeds, {} rounds, spread {}, {:.3}s{}",
                     w + 1,
@@ -176,7 +216,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     report.num_rounds(),
                     report.total_activated,
                     secs,
-                    if report.reached { "" } else { "  [DID NOT REACH η]" }
+                    if report.reached {
+                        ""
+                    } else {
+                        "  [DID NOT REACH η]"
+                    }
                 );
                 total_seeds += report.num_seeds();
                 total_time += secs;
@@ -218,7 +262,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
             }
             println!("missed η on {misses}/{worlds} worlds");
         }
-        other => return Err(format!("unknown algorithm '{other}' (asti | adaptim | ateuc)")),
+        other => {
+            return Err(format!(
+                "unknown algorithm '{other}' (asti | adaptim | ateuc)"
+            ))
+        }
     }
     Ok(())
 }
@@ -231,7 +279,11 @@ pub fn convert(args: &[String]) -> Result<(), String> {
     };
     let g = load_graph(input)?;
     save_graph(&g, output)?;
-    println!("converted {input} -> {output} ({} nodes, {} edges)", g.n(), g.m());
+    println!(
+        "converted {input} -> {output} ({} nodes, {} edges)",
+        g.n(),
+        g.m()
+    );
     Ok(())
 }
 
@@ -242,7 +294,10 @@ mod tests {
     #[test]
     fn weight_model_parsing() {
         assert_eq!(parse_weights("wc").unwrap(), WeightModel::WeightedCascade);
-        assert_eq!(parse_weights("uniform:0.1").unwrap(), WeightModel::Uniform(0.1));
+        assert_eq!(
+            parse_weights("uniform:0.1").unwrap(),
+            WeightModel::Uniform(0.1)
+        );
         assert_eq!(parse_weights("tri").unwrap(), WeightModel::Trivalency);
         assert!(parse_weights("bogus").is_err());
         assert!(parse_weights("uniform:x").is_err());
@@ -266,8 +321,18 @@ mod tests {
         stats(std::slice::from_ref(&path)).unwrap();
 
         let run_args: Vec<String> = [
-            "--graph", &path, "--algo", "asti", "--eta", "40", "--worlds", "2", "--seed", "1",
-            "--threads", "2",
+            "--graph",
+            &path,
+            "--algo",
+            "asti",
+            "--eta",
+            "40",
+            "--worlds",
+            "2",
+            "--seed",
+            "1",
+            "--threads",
+            "2",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -283,6 +348,50 @@ mod tests {
     }
 
     #[test]
+    fn run_audit_writes_replayable_logs() {
+        let dir = std::env::temp_dir().join("smin_cli_audit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        let path = path.to_str().unwrap().to_string();
+        let args: Vec<String> = ["--kind", "er", "--n", "80", "--m", "240", "--out", &path]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        generate(&args).unwrap();
+
+        let audit = dir.join("campaign.log");
+        let audit = audit.to_str().unwrap().to_string();
+        let run_args: Vec<String> = [
+            "--graph", &path, "--algo", "asti", "--eta", "20", "--worlds", "2", "--seed", "5",
+            "--audit", &audit,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&run_args).unwrap();
+
+        // world 1 at the given path, world 2 with the .w2 suffix — both must
+        // parse back through the diffusion::log line format.
+        for p in [audit.clone(), format!("{audit}.w2")] {
+            let text = std::fs::read_to_string(&p).unwrap();
+            let log = smin_diffusion::ObservationLog::from_text(&text).unwrap();
+            assert_eq!(log.n, 80, "{p}: wrong node count header");
+            assert!(!log.steps.is_empty(), "{p}: no steps recorded");
+            assert!(log.total_activated() >= 20, "{p}: campaign did not reach η");
+            assert_eq!(log.to_text(), text, "{p}: round-trip not identity");
+        }
+
+        // --audit is meaningless for the non-adaptive baseline
+        let bad: Vec<String> = [
+            "--graph", &path, "--algo", "ateuc", "--eta", "20", "--audit", &audit,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(run(&bad).unwrap_err().contains("--audit"));
+    }
+
+    #[test]
     fn run_rejects_zero_threads() {
         let dir = std::env::temp_dir().join("smin_cli_test3");
         std::fs::create_dir_all(&dir).unwrap();
@@ -294,7 +403,14 @@ mod tests {
             .collect();
         generate(&args).unwrap();
         let bad: Vec<String> = [
-            "--graph", &path, "--algo", "asti", "--eta", "5", "--threads", "0",
+            "--graph",
+            &path,
+            "--algo",
+            "asti",
+            "--eta",
+            "5",
+            "--threads",
+            "0",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -315,7 +431,14 @@ mod tests {
             .collect();
         generate(&args).unwrap();
         let bad: Vec<String> = [
-            "--graph", &path, "--algo", "asti", "--eta", "5", "--eta-frac", "0.1",
+            "--graph",
+            &path,
+            "--algo",
+            "asti",
+            "--eta",
+            "5",
+            "--eta-frac",
+            "0.1",
         ]
         .iter()
         .map(|s| s.to_string())

@@ -36,7 +36,8 @@ impl Flags {
 
     /// Required string value.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required --{key}"))
     }
 
     /// Optional parsed value.

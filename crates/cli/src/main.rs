@@ -21,7 +21,7 @@ USAGE:
   asm stats <GRAPH>
   asm run --graph <GRAPH> --algo <asti|adaptim|ateuc> [--batch B]
           (--eta N | --eta-frac F) [--model ic|lt] [--eps F] [--seed N]
-          [--worlds K] [--threads T]
+          [--worlds K] [--threads T] [--audit FILE]
   asm convert <IN> <OUT>            # text <-> binary by extension (.bin)
 
 GRAPH files: '*.bin' = seedmin binary format, anything else = edge list
@@ -29,7 +29,11 @@ GRAPH files: '*.bin' = seedmin binary format, anything else = edge list
 
 --threads controls the sketch-generation worker pool for asti (default:
 SMIN_THREADS env var, then all available cores). Seed selections are
-bit-identical for every thread count.";
+bit-identical for every thread count.
+
+--audit FILE records the adaptive select->observe history (one 'S ... | A
+...' line per round; world K > 1 goes to FILE.wK). The file replays through
+ReplayOracle to reproduce the campaign without the original world.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -33,7 +33,10 @@ pub struct AdaptImParams {
 impl AdaptImParams {
     /// Defaults matching the paper's experiments (ε = 0.5).
     pub fn with_eps(eps: f64) -> Self {
-        AdaptImParams { eps, theta_cap: None }
+        AdaptImParams {
+            eps,
+            theta_cap: None,
+        }
     }
 }
 
@@ -128,10 +131,22 @@ fn select_max_spread(
     // scale is n_i (E[I(v)] = n_i · Pr[v ∈ R]), hence δ is computed against
     // n_i — this is exactly the OPIM-C (k = 1) parameterization and the
     // source of AdaptIM's extra sampling cost.
-    let sched = schedule(n_i, n_i, params.eps, 1, 1.0, (n_i as f64).ln(), params.theta_cap);
+    let sched = schedule(
+        n_i,
+        n_i,
+        params.eps,
+        1,
+        1.0,
+        (n_i as f64).ln(),
+        params.theta_cap,
+    );
 
-    let pool = &mut scratch.pool;
-    let sampler = &mut scratch.sampler;
+    let TrimScratch {
+        pool,
+        sampler,
+        engine,
+        ..
+    } = scratch;
     pool.reset();
 
     // A named generic fn (not a `&mut dyn RngCore` closure) keeps the RR
@@ -158,12 +173,24 @@ fn select_max_spread(
 
     let mut set_buf: Vec<NodeId> = Vec::new();
     let mut root_buf: Vec<NodeId> = Vec::new();
-    grow_to(sched.theta0, g, model, pool, sampler, residual, &mut root_buf, &mut set_buf, rng);
+    grow_to(
+        sched.theta0,
+        g,
+        model,
+        pool,
+        sampler,
+        residual,
+        &mut root_buf,
+        &mut set_buf,
+        rng,
+    );
 
     let mut iterations = 0;
     loop {
         iterations += 1;
-        let (node, coverage) = pool.argmax().expect("roots are alive; sets are non-empty");
+        let (node, coverage) = engine
+            .argmax(pool)
+            .expect("roots are alive; sets are non-empty");
         let lower = coverage_lower_bound(coverage as f64, sched.a1);
         let upper = coverage_upper_bound(coverage as f64, sched.a2);
         let certificate = if upper > 0.0 { lower / upper } else { 0.0 };
@@ -175,7 +202,17 @@ fn select_max_spread(
             return (node, pool.len(), est);
         }
         let target = (pool.len() * 2).min(sched.theta_max);
-        grow_to(target, g, model, pool, sampler, residual, &mut root_buf, &mut set_buf, rng);
+        grow_to(
+            target,
+            g,
+            model,
+            pool,
+            sampler,
+            residual,
+            &mut root_buf,
+            &mut set_buf,
+            rng,
+        );
     }
 }
 
@@ -268,8 +305,15 @@ mod tests {
         )
         .unwrap();
         let mut o2 = RealizationOracle::new(&g, phi);
-        let adapt_report =
-            adapt_im(&g, Model::IC, eta, &AdaptImParams::with_eps(0.5), &mut o2, &mut rng).unwrap();
+        let adapt_report = adapt_im(
+            &g,
+            Model::IC,
+            eta,
+            &AdaptImParams::with_eps(0.5),
+            &mut o2,
+            &mut rng,
+        )
+        .unwrap();
         assert!(
             adapt_report.total_sets > trim_report.total_sets,
             "AdaptIM sets = {}, ASTI sets = {}",
@@ -285,11 +329,25 @@ mod tests {
         let phi = Realization::sample(&g, Model::IC, &mut rng);
         let mut oracle = RealizationOracle::new(&g, phi);
         assert!(matches!(
-            adapt_im(&g, Model::IC, 2, &AdaptImParams::with_eps(0.0), &mut oracle, &mut rng),
+            adapt_im(
+                &g,
+                Model::IC,
+                2,
+                &AdaptImParams::with_eps(0.0),
+                &mut oracle,
+                &mut rng
+            ),
             Err(AsmError::InvalidEps(_))
         ));
         assert!(matches!(
-            adapt_im(&g, Model::IC, 99, &AdaptImParams::default(), &mut oracle, &mut rng),
+            adapt_im(
+                &g,
+                Model::IC,
+                99,
+                &AdaptImParams::default(),
+                &mut oracle,
+                &mut rng
+            ),
             Err(AsmError::EtaOutOfRange { .. })
         ));
     }

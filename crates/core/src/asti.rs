@@ -229,9 +229,25 @@ mod tests {
             let mut rng = SmallRng::seed_from_u64(100 + seed);
             let phi = Realization::sample(&g, Model::IC, &mut rng);
             let mut o1 = RealizationOracle::new(&g, phi.clone());
-            let r1 = asti(&g, Model::IC, eta, &AstiParams::with_eps(0.5), &mut o1, &mut rng).unwrap();
+            let r1 = asti(
+                &g,
+                Model::IC,
+                eta,
+                &AstiParams::with_eps(0.5),
+                &mut o1,
+                &mut rng,
+            )
+            .unwrap();
             let mut o4 = RealizationOracle::new(&g, phi);
-            let r4 = asti(&g, Model::IC, eta, &AstiParams::batched(0.5, 4), &mut o4, &mut rng).unwrap();
+            let r4 = asti(
+                &g,
+                Model::IC,
+                eta,
+                &AstiParams::batched(0.5, 4),
+                &mut o4,
+                &mut rng,
+            )
+            .unwrap();
             assert!(r1.reached && r4.reached);
             seeds1 += r1.num_seeds();
             rounds1.push(r1.num_rounds());
@@ -239,7 +255,10 @@ mod tests {
         }
         let sum1: usize = rounds1.iter().sum();
         let sum4: usize = rounds4.iter().sum();
-        assert!(sum4 < sum1, "batch 4 should use fewer rounds ({sum4} vs {sum1})");
+        assert!(
+            sum4 < sum1,
+            "batch 4 should use fewer rounds ({sum4} vs {sum1})"
+        );
         assert!(seeds1 > 0);
     }
 

@@ -24,7 +24,7 @@ use rand::Rng;
 use smin_diffusion::{ForwardSim, Model, Realization, ResidualState};
 use smin_graph::{Graph, NodeId};
 use smin_sampling::bounds::{coverage_lower_bound, coverage_upper_bound};
-use smin_sampling::{MrrSampler, SketchPool};
+use smin_sampling::{CoverageEngine, MrrSampler, SketchPool};
 
 /// ATEUC parameters.
 #[derive(Clone, Copy, Debug)]
@@ -86,6 +86,7 @@ pub fn ateuc(
     let mut residual = ResidualState::new(n); // all alive: full graph
     let mut sampler = MrrSampler::new(n);
     let mut pool = SketchPool::new(n);
+    let mut engine = CoverageEngine::new();
     let mut set_buf: Vec<NodeId> = Vec::new();
     let mut root_buf: Vec<NodeId> = Vec::new();
 
@@ -99,7 +100,14 @@ pub fn ateuc(
     loop {
         while pool.len() < theta {
             residual.sample_k_distinct(1, rng, &mut root_buf);
-            sampler.reverse_sample_into(g, model, residual.alive_mask(), &root_buf, rng, &mut set_buf);
+            sampler.reverse_sample_into(
+                g,
+                model,
+                residual.alive_mask(),
+                &root_buf,
+                rng,
+                &mut set_buf,
+            );
             pool.add_set(&set_buf);
         }
 
@@ -107,16 +115,17 @@ pub fn ateuc(
         let target_cov_pess = |cov: f64| n as f64 * coverage_lower_bound(cov, a) / theta_f;
         let target_cov_opt = |cov: f64| n as f64 * coverage_upper_bound(cov, a) / theta_f;
 
-        let (upper_candidate, cov_u, certified) =
-            greedy_until(&pool, eta as f64, &target_cov_pess);
-        let (lower_candidate, _, _) = greedy_until(&pool, eta as f64, &target_cov_opt);
+        // Both candidate growths run through the shared coverage engine
+        // (bound-driven greedy; same tie-breaking as TRIM-B's selection).
+        let (upper, certified) = engine.select_until(&pool, eta as f64, target_cov_pess);
+        let (lower, _) = engine.select_until(&pool, eta as f64, target_cov_opt);
 
-        let done = certified && upper_candidate.len() <= 2 * lower_candidate.len().max(1);
+        let done = certified && upper.seeds.len() <= 2 * lower.seeds.len().max(1);
         if done || doublings >= params.max_doublings {
-            let est = n as f64 * cov_u as f64 / theta_f;
+            let est = n as f64 * upper.covered as f64 / theta_f;
             return Ok(AteucOutput {
-                seeds: upper_candidate,
-                lower_candidate_size: lower_candidate.len(),
+                seeds: upper.seeds,
+                lower_candidate_size: lower.seeds.len(),
                 est_spread: est,
                 sets_generated: pool.len(),
                 doublings,
@@ -125,45 +134,6 @@ pub fn ateuc(
         }
         theta *= 2;
         doublings += 1;
-    }
-}
-
-/// Greedy max-coverage until `bound(Λ(S))` reaches `target`, or coverage is
-/// exhausted. Returns `(seeds, covered, target_reached)`.
-fn greedy_until(
-    pool: &SketchPool,
-    target: f64,
-    bound: &impl Fn(f64) -> f64,
-) -> (Vec<NodeId>, u32, bool) {
-    let mut marginal: Vec<u32> = pool.coverage_counts().to_vec();
-    let mut set_covered = vec![false; pool.len()];
-    let mut seeds = Vec::new();
-    let mut covered = 0u32;
-
-    loop {
-        if bound(covered as f64) >= target {
-            return (seeds, covered, true);
-        }
-        let mut best: Option<(NodeId, u32)> = None;
-        for &v in pool.touched_nodes() {
-            let c = marginal[v as usize];
-            if c > 0 && best.is_none_or(|(_, bc)| c > bc) {
-                best = Some((v, c));
-            }
-        }
-        let Some((v, gain)) = best else {
-            return (seeds, covered, false);
-        };
-        seeds.push(v);
-        covered += gain;
-        for &s in pool.sets_of(v) {
-            if !set_covered[s as usize] {
-                set_covered[s as usize] = true;
-                for &u in pool.set(s) {
-                    marginal[u as usize] -= 1;
-                }
-            }
-        }
     }
 }
 
@@ -253,7 +223,10 @@ mod tests {
         // Not guaranteed mathematically, but with WC weights the spread
         // variance makes ≥ 1 miss overwhelmingly likely; allow zero but then
         // require visible overshoot instead (both demonstrate rigidity).
-        let overshoot = spreads.iter().filter(|&&s| s as f64 > 1.5 * eta as f64).count();
+        let overshoot = spreads
+            .iter()
+            .filter(|&&s| s as f64 > 1.5 * eta as f64)
+            .count();
         assert!(
             misses > 0 || overshoot > 0,
             "non-adaptive set neither missed nor overshot on 40 realizations: {spreads:?}"

@@ -26,7 +26,10 @@ impl fmt::Display for AsmError {
             AsmError::InvalidEps(e) => write!(f, "ε = {e} outside (0, 1)"),
             AsmError::InvalidBatch(b) => write!(f, "batch size {b} must be ≥ 1"),
             AsmError::InvalidLtInstance { node, mass } => {
-                write!(f, "node {node} has incoming probability mass {mass} > 1 under LT")
+                write!(
+                    f,
+                    "node {node} has incoming probability mass {mass} > 1 under LT"
+                )
             }
             AsmError::EmptyGraph => write!(f, "graph has no nodes"),
         }

@@ -12,7 +12,7 @@ use crate::error::AsmError;
 use rand::Rng;
 use smin_diffusion::{Model, ResidualState};
 use smin_graph::{Graph, NodeId};
-use smin_sampling::{MrrSampler, SketchPool};
+use smin_sampling::{CoverageEngine, MrrSampler, SketchPool};
 
 /// Parameters for the bi-criteria greedy.
 #[derive(Clone, Copy, Debug)]
@@ -26,7 +26,10 @@ pub struct NonAdaptiveParams {
 
 impl Default for NonAdaptiveParams {
     fn default() -> Self {
-        NonAdaptiveParams { slack: 0.05, theta: 16_384 }
+        NonAdaptiveParams {
+            slack: 0.05,
+            theta: 16_384,
+        }
     }
 }
 
@@ -75,44 +78,26 @@ pub fn nonadaptive_greedy(
     let mut root_buf = Vec::new();
     for _ in 0..params.theta.max(1) {
         residual.sample_k_distinct(1, rng, &mut root_buf);
-        sampler.reverse_sample_into(g, model, residual.alive_mask(), &root_buf, rng, &mut set_buf);
+        sampler.reverse_sample_into(
+            g,
+            model,
+            residual.alive_mask(),
+            &root_buf,
+            rng,
+            &mut set_buf,
+        );
         pool.add_set(&set_buf);
     }
 
     let theta = pool.len() as f64;
     let target_cov = (1.0 - params.slack) * eta as f64 * theta / n as f64;
 
-    let mut marginal: Vec<u32> = pool.coverage_counts().to_vec();
-    let mut set_covered = vec![false; pool.len()];
-    let mut seeds = Vec::new();
-    let mut covered = 0u32;
-    let target_met = loop {
-        if covered as f64 >= target_cov {
-            break true;
-        }
-        let mut best: Option<(NodeId, u32)> = None;
-        for &v in pool.touched_nodes() {
-            let c = marginal[v as usize];
-            if c > 0 && best.is_none_or(|(bv, bc)| c > bc || (c == bc && v < bv)) {
-                best = Some((v, c));
-            }
-        }
-        let Some((v, gain)) = best else { break false };
-        seeds.push(v);
-        covered += gain;
-        for &s in pool.sets_of(v) {
-            if !set_covered[s as usize] {
-                set_covered[s as usize] = true;
-                for &u in pool.set(s) {
-                    marginal[u as usize] -= 1;
-                }
-            }
-        }
-    };
+    // Point-estimate stopping rule = identity bound on the covered count.
+    let (cover, target_met) = CoverageEngine::new().select_until(&pool, target_cov, |c| c);
 
     Ok(NonAdaptiveOutput {
-        seeds,
-        est_spread: n as f64 * covered as f64 / theta,
+        seeds: cover.seeds,
+        est_spread: n as f64 * cover.covered as f64 / theta,
         target_met,
     })
 }
@@ -132,8 +117,8 @@ mod tests {
         }
         let g = b.build().unwrap();
         let mut rng = SmallRng::seed_from_u64(1);
-        let out = nonadaptive_greedy(&g, Model::IC, 5, &NonAdaptiveParams::default(), &mut rng)
-            .unwrap();
+        let out =
+            nonadaptive_greedy(&g, Model::IC, 5, &NonAdaptiveParams::default(), &mut rng).unwrap();
         assert!(out.target_met);
         assert_eq!(out.seeds, vec![0]);
         assert!(out.est_spread >= 5.0);
@@ -149,7 +134,8 @@ mod tests {
         let out = nonadaptive_greedy(&g, Model::IC, eta, &NonAdaptiveParams::default(), &mut rng)
             .unwrap();
         assert!(out.target_met);
-        let mc = smin_diffusion::spread::mc_expected_spread(&g, Model::IC, &out.seeds, 4_000, &mut rng);
+        let mc =
+            smin_diffusion::spread::mc_expected_spread(&g, Model::IC, &out.seeds, 4_000, &mut rng);
         assert!(
             (mc - out.est_spread).abs() / out.est_spread < 0.25,
             "estimate {} vs MC {mc}",
@@ -168,7 +154,10 @@ mod tests {
             &g,
             Model::IC,
             90,
-            &NonAdaptiveParams { slack: 0.0, theta: 8_192 },
+            &NonAdaptiveParams {
+                slack: 0.0,
+                theta: 8_192,
+            },
             &mut SmallRng::seed_from_u64(7),
         )
         .unwrap();
@@ -176,7 +165,10 @@ mod tests {
             &g,
             Model::IC,
             90,
-            &NonAdaptiveParams { slack: 0.3, theta: 8_192 },
+            &NonAdaptiveParams {
+                slack: 0.3,
+                theta: 8_192,
+            },
             &mut SmallRng::seed_from_u64(7),
         )
         .unwrap();
@@ -193,7 +185,10 @@ mod tests {
             &g,
             Model::IC,
             4,
-            &NonAdaptiveParams { slack: 0.0, theta: 4_096 },
+            &NonAdaptiveParams {
+                slack: 0.0,
+                theta: 4_096,
+            },
             &mut rng,
         )
         .unwrap();
@@ -212,12 +207,17 @@ mod tests {
     fn validation() {
         let g = GraphBuilder::new(3).build().unwrap();
         let mut rng = SmallRng::seed_from_u64(5);
-        assert!(nonadaptive_greedy(&g, Model::IC, 0, &NonAdaptiveParams::default(), &mut rng).is_err());
+        assert!(
+            nonadaptive_greedy(&g, Model::IC, 0, &NonAdaptiveParams::default(), &mut rng).is_err()
+        );
         assert!(nonadaptive_greedy(
             &g,
             Model::IC,
             2,
-            &NonAdaptiveParams { slack: 1.5, theta: 64 },
+            &NonAdaptiveParams {
+                slack: 1.5,
+                theta: 64
+            },
             &mut rng
         )
         .is_err());

@@ -109,7 +109,10 @@ mod tests {
         assert_eq!(p.trim.eps, 0.5);
         assert_eq!(p.batch, 1);
         assert_eq!(p.trim.root_dist, RootCountDist::Randomized);
-        assert_eq!(p.trim.threads, None, "thread count auto-resolves by default");
+        assert_eq!(
+            p.trim.threads, None,
+            "thread count auto-resolves by default"
+        );
         assert!(p.validate().is_ok());
     }
 
@@ -131,7 +134,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_zero_batch() {
-        let p = AstiParams { batch: 0, ..Default::default() };
+        let p = AstiParams {
+            batch: 0,
+            ..Default::default()
+        };
         assert!(matches!(p.validate(), Err(AsmError::InvalidBatch(0))));
     }
 }

@@ -24,7 +24,9 @@ use rand::Rng;
 use smin_diffusion::{Model, ResidualState};
 use smin_graph::{Graph, NodeId};
 use smin_sampling::bounds::{coverage_lower_bound, coverage_upper_bound};
-use smin_sampling::{resolve_threads, MrrSampler, SketchGenPool, SketchJob, SketchPool};
+use smin_sampling::{
+    resolve_threads, CoverageEngine, MrrSampler, SketchGenPool, SketchJob, SketchPool,
+};
 
 /// Outcome of one TRIM round.
 #[derive(Clone, Debug)]
@@ -47,11 +49,13 @@ pub struct TrimOutput {
 }
 
 /// Reusable cross-round scratch (sketch pool, single-root sampler for the
-/// baselines, and the parallel sketch-generation pool).
+/// baselines, the parallel sketch-generation pool, and the shared coverage
+/// engine behind argmax / greedy selection).
 pub struct TrimScratch {
     pub(crate) pool: SketchPool,
     pub(crate) sampler: MrrSampler,
     pub(crate) sketch_gen: SketchGenPool,
+    pub(crate) engine: CoverageEngine,
 }
 
 impl TrimScratch {
@@ -61,6 +65,7 @@ impl TrimScratch {
             pool: SketchPool::new(n),
             sampler: MrrSampler::new(n),
             sketch_gen: SketchGenPool::new(n),
+            engine: CoverageEngine::new(),
         }
     }
 
@@ -100,9 +105,8 @@ pub(crate) fn schedule(
     let delta = eps / (100.0 * one_minus_inv_e() * (1.0 - eps) * eta_i as f64);
     let eps_hat = 99.0 * eps / (100.0 - eps);
     let ln6d = (6.0 / delta).ln();
-    let theta_max =
-        2.0 * n_f * ((ln6d).sqrt() + ((ln_choose + ln6d) / rho_b).sqrt()).powi(2)
-            / (b as f64 * eps_hat * eps_hat);
+    let theta_max = 2.0 * n_f * ((ln6d).sqrt() + ((ln_choose + ln6d) / rho_b).sqrt()).powi(2)
+        / (b as f64 * eps_hat * eps_hat);
     let theta0 = theta_max * (b as f64) * eps_hat * eps_hat / n_f;
 
     let mut theta_max = theta_max.ceil() as usize;
@@ -147,7 +151,15 @@ pub fn trim(
     }
     assert!(eta_i >= 1, "TRIM requires a positive shortfall");
 
-    let sched = schedule(n_i, eta_i, params.eps, 1, 1.0, (n_i as f64).ln(), params.theta_cap);
+    let sched = schedule(
+        n_i,
+        eta_i,
+        params.eps,
+        1,
+        1.0,
+        (n_i as f64).ln(),
+        params.theta_cap,
+    );
 
     let threads = resolve_threads(params.threads);
     let job = SketchJob {
@@ -158,17 +170,24 @@ pub fn trim(
         dist: params.root_dist,
         base_seed: rng.next_u64(),
     };
-    let TrimScratch { pool, sketch_gen, .. } = scratch;
+    let TrimScratch {
+        pool,
+        sketch_gen,
+        engine,
+        ..
+    } = scratch;
     pool.reset();
     let mut edges_examined = 0usize;
 
-    edges_examined += sketch_gen.generate(&job, sched.theta0, threads, pool).edges_examined;
+    edges_examined += sketch_gen
+        .generate(&job, sched.theta0, threads, pool)
+        .edges_examined;
 
     let mut iterations = 0;
     loop {
         iterations += 1;
-        let (node, coverage) = pool
-            .argmax()
+        let (node, coverage) = engine
+            .argmax(pool)
             .expect("pool has non-empty sets: roots are alive");
         let lower = coverage_lower_bound(coverage as f64, sched.a1);
         let upper = coverage_upper_bound(coverage as f64, sched.a2);
@@ -188,7 +207,9 @@ pub fn trim(
             });
         }
         let target = (pool.len() * 2).min(sched.theta_max);
-        edges_examined += sketch_gen.generate(&job, target, threads, pool).edges_examined;
+        edges_examined += sketch_gen
+            .generate(&job, target, threads, pool)
+            .edges_examined;
     }
 }
 
@@ -355,7 +376,8 @@ mod tests {
         let eps_hat = 99.0 * 0.5 / 99.5;
         let ln6d = (6.0 / delta).ln();
         let expected_theta_max =
-            2.0 * 1000.0 * (ln6d.sqrt() + ((1000.0f64).ln() + ln6d).sqrt()).powi(2) / (eps_hat * eps_hat);
+            2.0 * 1000.0 * (ln6d.sqrt() + ((1000.0f64).ln() + ln6d).sqrt()).powi(2)
+                / (eps_hat * eps_hat);
         assert_eq!(s.theta_max, expected_theta_max.ceil() as usize);
         assert!((s.eps_hat - eps_hat).abs() < 1e-12);
         let expected_theta0 = expected_theta_max * eps_hat * eps_hat / 1000.0;

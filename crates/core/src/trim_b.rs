@@ -17,7 +17,7 @@ use smin_diffusion::{Model, ResidualState};
 use smin_graph::{Graph, NodeId};
 use smin_sampling::bounds::{coverage_lower_bound, coverage_upper_bound};
 use smin_sampling::coverage::rho_b;
-use smin_sampling::{greedy_max_coverage, resolve_threads, SketchJob};
+use smin_sampling::{resolve_threads, SketchJob};
 
 /// Outcome of one TRIM-B round.
 #[derive(Clone, Debug)]
@@ -77,7 +77,15 @@ pub fn trim_b(
     let b = b.min(n_i);
     let rho = rho_b(b);
 
-    let sched = schedule(n_i, eta_i, params.eps, b, rho, ln_binomial(n_i, b), params.theta_cap);
+    let sched = schedule(
+        n_i,
+        eta_i,
+        params.eps,
+        b,
+        rho,
+        ln_binomial(n_i, b),
+        params.theta_cap,
+    );
 
     let threads = resolve_threads(params.threads);
     let job = SketchJob {
@@ -88,16 +96,26 @@ pub fn trim_b(
         dist: params.root_dist,
         base_seed: rng.next_u64(),
     };
-    let TrimScratch { pool, sketch_gen, .. } = scratch;
+    let TrimScratch {
+        pool,
+        sketch_gen,
+        engine,
+        ..
+    } = scratch;
     pool.reset();
     let mut edges_examined = 0usize;
 
-    edges_examined += sketch_gen.generate(&job, sched.theta0, threads, pool).edges_examined;
+    edges_examined += sketch_gen
+        .generate(&job, sched.theta0, threads, pool)
+        .edges_examined;
 
     let mut iterations = 0;
     loop {
         iterations += 1;
-        let greedy = greedy_max_coverage(pool, b);
+        // CELF lazy greedy (the engine default) — identical selections to
+        // eager greedy by the shared tie-breaking, without rescanning nodes
+        // whose cached gain submodularity proves still fresh.
+        let greedy = engine.select(pool, b);
         let coverage = greedy.covered;
         let lower = coverage_lower_bound(coverage as f64, sched.a1);
         // Line 10: the greedy coverage divided by ρ_b upper-bounds the
@@ -119,7 +137,9 @@ pub fn trim_b(
             });
         }
         let target = (pool.len() * 2).min(sched.theta_max);
-        edges_examined += sketch_gen.generate(&job, target, threads, pool).edges_examined;
+        edges_examined += sketch_gen
+            .generate(&job, target, threads, pool)
+            .edges_examined;
     }
 }
 
@@ -152,8 +172,17 @@ mod tests {
             let residual = ResidualState::new(8);
             let mut scratch = TrimScratch::new(8);
             let mut rng = SmallRng::seed_from_u64(seed);
-            let out =
-                trim_b(&g, Model::IC, &residual, 6, 2, &params, &mut scratch, &mut rng).unwrap();
+            let out = trim_b(
+                &g,
+                Model::IC,
+                &residual,
+                6,
+                2,
+                &params,
+                &mut scratch,
+                &mut rng,
+            )
+            .unwrap();
             let mut s = out.seeds.clone();
             s.sort_unstable();
             if s == vec![0, 4] {
@@ -170,7 +199,17 @@ mod tests {
         let residual = ResidualState::new(8);
         let mut scratch = TrimScratch::new(8);
         let mut rng = SmallRng::seed_from_u64(1);
-        let out = trim_b(&g, Model::IC, &residual, 4, 1, &params, &mut scratch, &mut rng).unwrap();
+        let out = trim_b(
+            &g,
+            Model::IC,
+            &residual,
+            4,
+            1,
+            &params,
+            &mut scratch,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(out.seeds.len(), 1);
         assert!(out.seeds[0] == 0 || out.seeds[0] == 4);
     }
@@ -183,7 +222,17 @@ mod tests {
         residual.kill_all(&[2, 3, 4, 5, 6, 7]);
         let mut scratch = TrimScratch::new(8);
         let mut rng = SmallRng::seed_from_u64(2);
-        let out = trim_b(&g, Model::IC, &residual, 2, 8, &params, &mut scratch, &mut rng).unwrap();
+        let out = trim_b(
+            &g,
+            Model::IC,
+            &residual,
+            2,
+            8,
+            &params,
+            &mut scratch,
+            &mut rng,
+        )
+        .unwrap();
         assert!(out.seeds.len() <= 2);
         assert!(out.seeds.iter().all(|&v| v == 0 || v == 1));
     }
@@ -195,7 +244,9 @@ mod tests {
         assert_eq!(ln_binomial(5, 0), 0.0);
         assert!((ln_binomial(5, 5) - 0.0).abs() < 1e-9);
         // C(1000, 8): compare against lgamma-style product
-        let direct: f64 = (0..8).map(|i| ((1000 - i) as f64).ln() - ((i + 1) as f64).ln()).sum();
+        let direct: f64 = (0..8)
+            .map(|i| ((1000 - i) as f64).ln() - ((i + 1) as f64).ln())
+            .sum();
         assert!((ln_binomial(1000, 8) - direct).abs() < 1e-9);
     }
 
@@ -206,7 +257,17 @@ mod tests {
         let residual = ResidualState::new(8);
         let mut scratch = TrimScratch::new(8);
         let mut rng = SmallRng::seed_from_u64(3);
-        let out = trim_b(&g, Model::IC, &residual, 3, 4, &params, &mut scratch, &mut rng).unwrap();
+        let out = trim_b(
+            &g,
+            Model::IC,
+            &residual,
+            3,
+            4,
+            &params,
+            &mut scratch,
+            &mut rng,
+        )
+        .unwrap();
         assert!(out.est_truncated_spread <= 3.0 + 1e-9);
         assert!(out.est_truncated_spread > 0.0);
     }
@@ -219,7 +280,16 @@ mod tests {
         let mut scratch = TrimScratch::new(8);
         let mut rng = SmallRng::seed_from_u64(4);
         assert!(matches!(
-            trim_b(&g, Model::IC, &residual, 2, 0, &params, &mut scratch, &mut rng),
+            trim_b(
+                &g,
+                Model::IC,
+                &residual,
+                2,
+                0,
+                &params,
+                &mut scratch,
+                &mut rng
+            ),
             Err(AsmError::InvalidBatch(0))
         ));
     }

@@ -54,7 +54,10 @@ pub fn for_each_lt_realization(g: &Graph, mut f: impl FnMut(&Realization, f64)) 
     let mut worlds = 1.0f64;
     for v in 0..n as u32 {
         worlds *= (g.in_degree(v) + 1) as f64;
-        assert!(worlds <= MAX_WORLDS, "too many LT realizations to enumerate");
+        assert!(
+            worlds <= MAX_WORLDS,
+            "too many LT realizations to enumerate"
+        );
     }
     let mut chosen: Vec<Option<u32>> = vec![None; n];
     enum_lt(g, 0, 1.0, &mut chosen, &mut f);

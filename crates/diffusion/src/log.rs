@@ -36,7 +36,10 @@ impl ObservationLog {
 
     /// All seeds in submission order.
     pub fn seeds(&self) -> Vec<NodeId> {
-        self.steps.iter().flat_map(|s| s.seeds.iter().copied()).collect()
+        self.steps
+            .iter()
+            .flat_map(|s| s.seeds.iter().copied())
+            .collect()
     }
 
     /// Serializes to a simple line format (`S u1 u2 | A v1 v2` per step).
@@ -81,7 +84,10 @@ impl ObservationLog {
                 .ok_or_else(|| format!("line {}: missing '| A'", i + 1))?;
             let parse_ids = |s: &str| -> Result<Vec<NodeId>, String> {
                 s.split_whitespace()
-                    .map(|t| t.parse::<NodeId>().map_err(|e| format!("line {}: {e}", i + 1)))
+                    .map(|t| {
+                        t.parse::<NodeId>()
+                            .map_err(|e| format!("line {}: {e}", i + 1))
+                    })
                     .collect()
             };
             log.steps.push(ObservationStep {
@@ -104,7 +110,10 @@ impl<O: InfluenceOracle> LoggingOracle<O> {
     pub fn new(inner: O, n: usize) -> Self {
         LoggingOracle {
             inner,
-            log: ObservationLog { n, steps: Vec::new() },
+            log: ObservationLog {
+                n,
+                steps: Vec::new(),
+            },
         }
     }
 
@@ -175,9 +184,11 @@ impl InfluenceOracle for ReplayOracle {
             .get(self.next)
             .unwrap_or_else(|| panic!("replay exhausted after {} steps", self.next));
         assert_eq!(
-            seeds, &step.seeds[..],
+            seeds,
+            &step.seeds[..],
             "replay divergence at step {}: submitted {seeds:?}, recorded {:?}",
-            self.next, step.seeds
+            self.next,
+            step.seeds
         );
         self.next += 1;
         for &a in &step.activated {
@@ -248,7 +259,10 @@ mod tests {
     fn replay_detects_divergence() {
         let log = ObservationLog {
             n: 3,
-            steps: vec![ObservationStep { seeds: vec![0], activated: vec![0] }],
+            steps: vec![ObservationStep {
+                seeds: vec![0],
+                activated: vec![0],
+            }],
         };
         let mut replay = ReplayOracle::new(log);
         let _ = replay.observe(&[1]);
@@ -257,7 +271,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "replay exhausted")]
     fn replay_detects_exhaustion() {
-        let mut replay = ReplayOracle::new(ObservationLog { n: 2, steps: vec![] });
+        let mut replay = ReplayOracle::new(ObservationLog {
+            n: 2,
+            steps: vec![],
+        });
         let _ = replay.observe(&[0]);
     }
 
@@ -266,8 +283,14 @@ mod tests {
         let log = ObservationLog {
             n: 5,
             steps: vec![
-                ObservationStep { seeds: vec![1, 2], activated: vec![1, 2, 4] },
-                ObservationStep { seeds: vec![0], activated: vec![0] },
+                ObservationStep {
+                    seeds: vec![1, 2],
+                    activated: vec![1, 2, 4],
+                },
+                ObservationStep {
+                    seeds: vec![0],
+                    activated: vec![0],
+                },
             ],
         };
         let text = log.to_text();

@@ -33,7 +33,9 @@ impl std::str::FromStr for Model {
         match s.to_ascii_uppercase().as_str() {
             "IC" => Ok(Model::IC),
             "LT" => Ok(Model::LT),
-            other => Err(format!("unknown diffusion model '{other}' (expected IC or LT)")),
+            other => Err(format!(
+                "unknown diffusion model '{other}' (expected IC or LT)"
+            )),
         }
     }
 }

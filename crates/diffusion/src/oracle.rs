@@ -114,8 +114,16 @@ impl<'g, R: Rng> SimulationOracle<'g, R> {
             g,
             model,
             rng,
-            edge_state: if model == Model::IC { vec![0u8; g.m()] } else { Vec::new() },
-            chosen: if model == Model::LT { vec![UNDRAWN; g.n()] } else { Vec::new() },
+            edge_state: if model == Model::IC {
+                vec![0u8; g.m()]
+            } else {
+                Vec::new()
+            },
+            chosen: if model == Model::LT {
+                vec![UNDRAWN; g.n()]
+            } else {
+                Vec::new()
+            },
             active: vec![false; g.n()],
             num_active: 0,
             queue: Vec::new(),

@@ -81,7 +81,10 @@ impl ResidualState {
         }
         self.alive[u as usize] = false;
         let i = self.pos[u as usize] as usize;
-        let last = *self.alive_nodes.last().expect("alive list cannot be empty here");
+        let last = *self
+            .alive_nodes
+            .last()
+            .expect("alive list cannot be empty here");
         self.alive_nodes.swap_remove(i);
         if last != u {
             self.pos[last as usize] = i as u32;

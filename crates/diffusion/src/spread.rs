@@ -64,7 +64,9 @@ pub fn mc_expected_spread_par(
         for t in 0..threads {
             let quota = per + usize::from(t < extra);
             handles.push(scope.spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)));
+                let mut rng = SmallRng::seed_from_u64(
+                    seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)),
+                );
                 let mut sim = ForwardSim::new(g.n());
                 let mut sum = 0usize;
                 for _ in 0..quota {
@@ -73,7 +75,10 @@ pub fn mc_expected_spread_par(
                 sum
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .sum()
     });
     total as f64 / iters.max(1) as f64
 }

@@ -1,0 +1,185 @@
+//! Word-packed fixed-capacity bitset.
+//!
+//! The sampling hot paths keep several "is index `i` in the current set?"
+//! masks alive across millions of queries (reverse-BFS frontiers, covered-set
+//! masks in the greedy cover). `Vec<bool>` spends a byte per flag and defeats
+//! vectorized clearing; [`FixedBitSet`] packs 64 flags per word so clears,
+//! unions and population counts run a word at a time, and a graph-sized mask
+//! fits in L2 where the byte vector would not.
+//!
+//! Complementary to [`GenStamp`](crate::stamp::GenStamp): the stamp wins when
+//! a query touches few indices and resets every query; the bitset wins when
+//! membership persists across many operations (covered sets accumulate over
+//! a whole greedy run) or when whole-set operations (union, count) matter.
+
+/// A set of indices `0..len`, packed 64 per `u64` word.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FixedBitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl FixedBitSet {
+    /// An empty set over indices `0..len`.
+    pub fn new(len: usize) -> Self {
+        FixedBitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of indices the set can hold.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the set holds no capacity at all (`len == 0`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Grows capacity to at least `len` indices (never shrinks); new indices
+    /// start unset. Existing membership is preserved.
+    pub fn grow(&mut self, len: usize) {
+        if len > self.len {
+            self.len = len;
+            self.words.resize(len.div_ceil(64), 0);
+        }
+    }
+
+    /// Clears every bit in O(words) — one `memset`, not a per-flag loop.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Whether `i` is in the set.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] & (1u64 << (i & 63)) != 0
+    }
+
+    /// Inserts `i`; returns `true` iff it was not already present.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i >> 6];
+        let mask = 1u64 << (i & 63);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Removes `i`; returns `true` iff it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i >> 6];
+        let mask = 1u64 << (i & 63);
+        let present = *w & mask != 0;
+        *w &= !mask;
+        present
+    }
+
+    /// In-place union: `self |= other`. Panics unless both sets have the
+    /// same capacity.
+    pub fn union_with(&mut self, other: &FixedBitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Number of set bits, one `popcnt` per word.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates set indices in increasing order.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some((wi << 6) | bit)
+            })
+        })
+    }
+
+    /// Heap bytes held by the backing storage.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = FixedBitSet::new(130);
+        assert!(!s.contains(0));
+        assert!(s.insert(0));
+        assert!(!s.insert(0), "double insert reports already-present");
+        assert!(s.insert(129));
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        assert_eq!(s.count_ones(), 2);
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.count_ones(), 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = FixedBitSet::new(200);
+        for i in (0..200).step_by(3) {
+            s.insert(i);
+        }
+        s.clear();
+        assert_eq!(s.count_ones(), 0);
+        assert!((0..200).all(|i| !s.contains(i)));
+    }
+
+    #[test]
+    fn grow_preserves_and_extends() {
+        let mut s = FixedBitSet::new(10);
+        s.insert(7);
+        s.grow(100);
+        assert_eq!(s.len(), 100);
+        assert!(s.contains(7));
+        assert!(!s.contains(99));
+        s.insert(99);
+        assert_eq!(s.count_ones(), 2);
+        s.grow(5); // never shrinks
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn union_and_ones() {
+        let mut a = FixedBitSet::new(70);
+        let mut b = FixedBitSet::new(70);
+        a.insert(1);
+        a.insert(65);
+        b.insert(2);
+        b.insert(65);
+        a.union_with(&b);
+        assert_eq!(a.ones().collect::<Vec<_>>(), vec![1, 2, 65]);
+        assert_eq!(a.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn union_requires_equal_capacity() {
+        let mut a = FixedBitSet::new(10);
+        let b = FixedBitSet::new(20);
+        a.union_with(&b);
+    }
+}

@@ -119,8 +119,7 @@ impl GraphBuilder {
     /// Sorts, deduplicates, and freezes into a CSR [`Graph`].
     pub fn build(mut self) -> Result<Graph, GraphError> {
         // Counting sort by source gives O(n + m); then sort each bucket by dst.
-        self.edges
-            .sort_unstable_by_key(|a| (a.0, a.1));
+        self.edges.sort_unstable_by_key(|a| (a.0, a.1));
 
         let mut fwd_off = vec![0usize; self.n + 1];
         let mut fwd_dst: Vec<NodeId> = Vec::with_capacity(self.edges.len());

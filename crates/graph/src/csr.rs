@@ -187,19 +187,15 @@ impl Graph {
                 fwd_prob.push(f(u as NodeId, self.fwd_dst[e], self.fwd_prob[e]));
             }
         }
-        Graph::from_csr(
-            self.n,
-            self.fwd_off.clone(),
-            self.fwd_dst.clone(),
-            fwd_prob,
-        )
+        Graph::from_csr(self.n, self.fwd_off.clone(), self.fwd_dst.clone(), fwd_prob)
     }
 
     /// Memory footprint of the CSR arrays in bytes (diagnostics).
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
         self.fwd_off.len() * size_of::<usize>() * 2
-            + self.fwd_dst.len() * (size_of::<NodeId>() * 2 + size_of::<f64>() * 2 + size_of::<u32>())
+            + self.fwd_dst.len()
+                * (size_of::<NodeId>() * 2 + size_of::<f64>() * 2 + size_of::<u32>())
     }
 }
 
@@ -246,7 +242,10 @@ mod tests {
                 assert_eq!(g.edge_prob(e), p);
                 // edge e must appear in u's forward range
                 let found = g.out_edges_indexed(u).any(|(fe, fv, _)| fe == e && fv == v);
-                assert!(found, "edge ({u},{v}) id {e} missing from forward adjacency");
+                assert!(
+                    found,
+                    "edge ({u},{v}) id {e} missing from forward adjacency"
+                );
             }
         }
     }

@@ -30,7 +30,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
             GraphError::SelfLoop { u } => write!(f, "self loop at node {u}"),
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }

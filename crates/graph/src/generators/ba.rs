@@ -16,7 +16,8 @@ pub fn barabasi_albert(n: usize, m_attach: usize, rng: &mut impl Rng) -> Vec<(No
     );
 
     let seed = m_attach + 1;
-    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(seed * (seed - 1) / 2 + (n - seed) * m_attach);
+    let mut edges: Vec<(NodeId, NodeId)> =
+        Vec::with_capacity(seed * (seed - 1) / 2 + (n - seed) * m_attach);
     // Urn of endpoints: a node appears once per incident edge.
     let mut urn: Vec<NodeId> = Vec::with_capacity(2 * edges.capacity());
 
@@ -86,7 +87,10 @@ mod tests {
         }
         let max = *deg.iter().max().unwrap();
         let avg = 2.0 * edges.len() as f64 / n as f64;
-        assert!(max as f64 > 10.0 * avg, "BA should produce hubs: max {max}, avg {avg}");
+        assert!(
+            max as f64 > 10.0 * avg,
+            "BA should produce hubs: max {max}, avg {avg}"
+        );
     }
 
     #[test]

@@ -38,7 +38,14 @@ pub fn assemble(
     model: WeightModel,
     rng: &mut impl Rng,
 ) -> Result<Graph, GraphError> {
-    let mut b = GraphBuilder::with_capacity(n, if directed { pairs.len() } else { pairs.len() * 2 });
+    let mut b = GraphBuilder::with_capacity(
+        n,
+        if directed {
+            pairs.len()
+        } else {
+            pairs.len() * 2
+        },
+    );
     for &(u, v) in pairs {
         if directed {
             b.add_edge(u, v)?;
@@ -59,7 +66,14 @@ mod tests {
     #[test]
     fn assemble_undirected_mirrors() {
         let mut rng = SmallRng::seed_from_u64(3);
-        let g = assemble(3, &[(0, 1), (1, 2)], false, WeightModel::Uniform(0.2), &mut rng).unwrap();
+        let g = assemble(
+            3,
+            &[(0, 1), (1, 2)],
+            false,
+            WeightModel::Uniform(0.2),
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(g.m(), 4);
         assert!(g.has_edge(2, 1) && g.has_edge(1, 2));
     }

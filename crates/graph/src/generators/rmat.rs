@@ -25,7 +25,12 @@ impl Default for RmatParams {
     /// The canonical social-graph setting (a = 0.57, b = c = 0.19,
     /// d = 0.05), as used by the Graph500 benchmark.
     fn default() -> Self {
-        RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 }
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
     }
 }
 
@@ -121,7 +126,12 @@ mod tests {
     fn uniform_quadrants_reduce_to_er_like() {
         let mut rng = SmallRng::seed_from_u64(3);
         let n = 1usize << 10;
-        let params = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+        let params = RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+        };
         let edges = rmat(10, 8_000, params, &mut rng);
         let mut deg = vec![0usize; n];
         for &(u, v) in &edges {
@@ -130,13 +140,26 @@ mod tests {
         }
         let max = *deg.iter().max().unwrap() as f64;
         let avg = 2.0 * edges.len() as f64 / n as f64;
-        assert!(max < 4.0 * avg, "uniform R-MAT should have no hubs: max {max}, avg {avg}");
+        assert!(
+            max < 4.0 * avg,
+            "uniform R-MAT should have no hubs: max {max}, avg {avg}"
+        );
     }
 
     #[test]
     fn deterministic_under_seed() {
-        let a = rmat(6, 100, RmatParams::default(), &mut SmallRng::seed_from_u64(5));
-        let b = rmat(6, 100, RmatParams::default(), &mut SmallRng::seed_from_u64(5));
+        let a = rmat(
+            6,
+            100,
+            RmatParams::default(),
+            &mut SmallRng::seed_from_u64(5),
+        );
+        let b = rmat(
+            6,
+            100,
+            RmatParams::default(),
+            &mut SmallRng::seed_from_u64(5),
+        );
         assert_eq!(a, b);
     }
 
@@ -144,7 +167,17 @@ mod tests {
     #[should_panic(expected = "sum to 1")]
     fn bad_params_panic() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let _ = rmat(4, 10, RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }, &mut rng);
+        let _ = rmat(
+            4,
+            10,
+            RmatParams {
+                a: 0.5,
+                b: 0.5,
+                c: 0.5,
+                d: 0.5,
+            },
+            &mut rng,
+        );
     }
 
     #[test]

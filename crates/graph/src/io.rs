@@ -28,8 +28,8 @@ impl EdgeList {
     /// Builds a weighted graph: explicit per-line probabilities win, missing
     /// ones take `default_p`; undirected inputs mirror each pair.
     pub fn into_graph(self, directed: bool, default_p: f64) -> Result<Graph, GraphError> {
-        let mut b =
-            GraphBuilder::with_capacity(self.n, self.edges.len()).dedup_policy(DedupPolicy::KeepFirst);
+        let mut b = GraphBuilder::with_capacity(self.n, self.edges.len())
+            .dedup_policy(DedupPolicy::KeepFirst);
         for (u, v, p) in self.edges {
             let p = p.unwrap_or(default_p);
             if directed {
@@ -243,7 +243,10 @@ mod tests {
     #[test]
     fn binary_rejects_bad_magic() {
         let bytes = b"NOTMAGIC________".to_vec();
-        assert!(matches!(read_binary(bytes.as_slice()), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            read_binary(bytes.as_slice()),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]

@@ -16,9 +16,11 @@
 //! * [`io`] — SNAP-compatible edge-list reading/writing;
 //! * [`components`] / [`degree`] — the statistics reported in Table 2 and
 //!   Figure 3;
-//! * [`stamp`] — generation-stamped membership scratch shared by the
-//!   sampling hot paths (O(1) reset instead of per-query allocation).
+//! * [`stamp`] / [`bitset`] — reusable membership scratch shared by the
+//!   sampling hot paths: generation stamps (O(1) reset, sparse queries) and
+//!   word-packed bitsets (persistent masks, word-at-a-time clear/union/count).
 
+pub mod bitset;
 pub mod builder;
 pub mod components;
 pub mod csr;
@@ -31,6 +33,7 @@ pub mod stamp;
 pub mod topics;
 pub mod weights;
 
+pub use bitset::FixedBitSet;
 pub use builder::{DedupPolicy, GraphBuilder};
 pub use csr::{Graph, NodeId};
 pub use error::GraphError;

@@ -13,7 +13,8 @@ use crate::csr::{Graph, NodeId};
 pub fn transpose(g: &Graph) -> Graph {
     let mut b = GraphBuilder::with_capacity(g.n(), g.m());
     for (u, v, p) in g.edges() {
-        b.add_edge_p(v, u, p).expect("edges of a valid graph are valid");
+        b.add_edge_p(v, u, p)
+            .expect("edges of a valid graph are valid");
     }
     b.build().expect("transpose preserves validity")
 }
@@ -27,7 +28,11 @@ pub fn induced_subgraph(g: &Graph, keep: &[NodeId]) -> (Graph, Vec<NodeId>) {
     let mut new_id = vec![u32::MAX; g.n()];
     for (i, &old) in keep.iter().enumerate() {
         assert!((old as usize) < g.n(), "node {old} out of range");
-        assert_eq!(new_id[old as usize], u32::MAX, "duplicate node {old} in keep list");
+        assert_eq!(
+            new_id[old as usize],
+            u32::MAX,
+            "duplicate node {old} in keep list"
+        );
         new_id[old as usize] = i as u32;
     }
     let mut b = GraphBuilder::new(keep.len());

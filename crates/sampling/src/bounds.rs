@@ -57,8 +57,14 @@ mod tests {
     #[test]
     fn bounds_tighten_as_a_shrinks() {
         let obs = 500.0;
-        let (lo1, hi1) = (coverage_lower_bound(obs, 10.0), coverage_upper_bound(obs, 10.0));
-        let (lo2, hi2) = (coverage_lower_bound(obs, 1.0), coverage_upper_bound(obs, 1.0));
+        let (lo1, hi1) = (
+            coverage_lower_bound(obs, 10.0),
+            coverage_upper_bound(obs, 10.0),
+        );
+        let (lo2, hi2) = (
+            coverage_lower_bound(obs, 1.0),
+            coverage_upper_bound(obs, 1.0),
+        );
         assert!(lo2 > lo1);
         assert!(hi2 < hi1);
     }
@@ -125,7 +131,10 @@ mod tests {
                 violations += 1;
             }
         }
-        assert!(violations <= 5, "upper bound violated {violations}/{runs} times");
+        assert!(
+            violations <= 5,
+            "upper bound violated {violations}/{runs} times"
+        );
     }
 
     #[test]

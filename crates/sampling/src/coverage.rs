@@ -1,11 +1,22 @@
-//! Greedy maximum coverage over a sketch pool (TRIM-B Line 8).
+//! Coverage engine: greedy maximum coverage over a sketch pool (TRIM-B
+//! Line 8) and the argmax shared with TRIM.
 //!
 //! The classic greedy algorithm guarantees covering at least
 //! `ρ_b = 1 − (1 − 1/b)^b` of the optimum for `b` picks (Vazirani 2003),
 //! which is the factor TRIM-B's stopping rule divides by.
+//!
+//! All selection paths — TRIM's argmax, eager greedy, CELF lazy greedy, and
+//! the bound-driven `greedy_until` loops of the non-adaptive baselines —
+//! share one marginal-maintenance implementation ([`CoverageEngine`]) and
+//! one tie-breaking rule (higher gain first, then smaller node id), so every
+//! algorithm returns identical selections on identical pools. CELF is the
+//! default strategy ([`CoverageEngine::select`]); the eager scan survives as
+//! the reference implementation and as the small-`b` fast path.
 
 use crate::pool::SketchPool;
-use smin_graph::NodeId;
+use smin_graph::{FixedBitSet, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Result of a greedy cover run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -17,41 +28,220 @@ pub struct GreedyCover {
     pub covered: u32,
 }
 
-/// Picks up to `b` nodes greedily maximizing marginal set coverage.
-///
-/// Runs in `O(b·n + Σ|R|)`: marginal coverages are maintained exactly by
-/// decrementing the counts of every node sharing a newly covered set.
-pub fn greedy_max_coverage(pool: &SketchPool, b: usize) -> GreedyCover {
-    let mut marginal: Vec<u32> = pool.coverage_counts().to_vec();
-    let mut set_covered = vec![false; pool.len()];
-    let mut seeds = Vec::with_capacity(b);
-    let mut covered = 0u32;
-
-    for _ in 0..b {
-        let mut best: Option<(NodeId, u32)> = None;
-        for &v in pool.touched_nodes() {
-            let c = marginal[v as usize];
-            // ties break toward the smaller node id (matches the CELF
-            // variant so both algorithms return identical selections)
-            if c > 0 && best.is_none_or(|(bv, bc)| c > bc || (c == bc && v < bv)) {
-                best = Some((v, c));
-            }
+/// The shared tie-breaking scan: the entry of `nodes` with the largest
+/// `gain`, ties toward the smaller node id. This one function defines the
+/// selection order for every coverage consumer (TRIM argmax included).
+#[inline]
+pub(crate) fn best_node(nodes: &[NodeId], gain: &[u32]) -> Option<(NodeId, u32)> {
+    let mut best: Option<(NodeId, u32)> = None;
+    for &v in nodes {
+        let c = gain[v as usize];
+        if best.is_none_or(|(bv, bc)| c > bc || (c == bc && v < bv)) {
+            best = Some((v, c));
         }
-        let Some((v, gain)) = best else { break };
-        seeds.push(v);
-        covered += gain;
-        for &s in pool.sets_of(v) {
-            if !set_covered[s as usize] {
-                set_covered[s as usize] = true;
+    }
+    best
+}
+
+/// Reusable marginal-coverage maintenance shared by every greedy/argmax
+/// consumer. All buffers are retained across calls, so a `CoverageEngine`
+/// embedded in per-round scratch (e.g. `TrimScratch`) makes repeated
+/// selection allocation-free after the first round.
+#[derive(Default)]
+pub struct CoverageEngine {
+    /// Marginal coverage of each node under the current partial selection.
+    marginal: Vec<u32>,
+    /// Sets already covered by the current partial selection.
+    set_covered: FixedBitSet,
+    /// CELF priority queue: (cached gain, Reverse(node)) — pops highest
+    /// gain, then smallest id, matching [`best_node`] exactly.
+    heap: BinaryHeap<(u32, Reverse<NodeId>)>,
+    /// Round in which each node's cached gain was recomputed (CELF).
+    fresh_round: Vec<u32>,
+    /// Compact scan list for the eager path: nodes whose marginal is still
+    /// positive. Exhausted nodes are swapped out during the scan and never
+    /// revisited — submodularity guarantees a zero marginal stays zero.
+    scan: Vec<NodeId>,
+    /// Nodes examined by the most recent eager select (instrumentation; the
+    /// compaction regression test pins this).
+    pub last_scanned: usize,
+}
+
+impl CoverageEngine {
+    /// A fresh engine; buffers are sized lazily per pool.
+    pub fn new() -> Self {
+        CoverageEngine::default()
+    }
+
+    /// Loads `pool`'s coverage counts into the marginal buffer and clears
+    /// the covered-set mask.
+    fn begin(&mut self, pool: &SketchPool) {
+        self.marginal.clear();
+        self.marginal.extend_from_slice(pool.coverage_counts());
+        self.set_covered.grow(pool.len());
+        self.set_covered.clear();
+    }
+
+    /// Commits `v` into the partial selection: marks its sets covered and
+    /// decrements every co-member's marginal. The single mutation point all
+    /// strategies share.
+    fn commit_pick(&mut self, pool: &SketchPool, v: NodeId) {
+        let marginal = &mut self.marginal;
+        let set_covered = &mut self.set_covered;
+        // for_each drives SetsOf's chunked fold — one arena-chunk slice at a
+        // time instead of per-id iterator stepping.
+        pool.sets_of(v).for_each(|s| {
+            if set_covered.insert(s as usize) {
                 for &u in pool.set(s) {
                     marginal[u as usize] -= 1;
                 }
             }
-        }
-        debug_assert_eq!(marginal[v as usize], 0);
+        });
+        debug_assert_eq!(self.marginal[v as usize], 0);
     }
 
-    GreedyCover { seeds, covered }
+    /// `argmax_v Λ_R(v)` with the shared tie-breaking; `None` when the pool
+    /// covers nothing. This is exactly the first pick of a greedy run.
+    pub fn argmax(&self, pool: &SketchPool) -> Option<(NodeId, u32)> {
+        best_node(pool.touched_nodes(), pool.coverage_counts())
+    }
+
+    /// Picks up to `b` nodes greedily maximizing marginal set coverage —
+    /// CELF lazy greedy (Leskovec et al. 2007), the default strategy.
+    ///
+    /// Identical output to [`CoverageEngine::select_eager`] (same
+    /// tie-breaking) but skips recomputing marginals that submodularity
+    /// proves stale; wins when `b` is large relative to how quickly gains
+    /// decay.
+    pub fn select(&mut self, pool: &SketchPool, b: usize) -> GreedyCover {
+        self.begin(pool);
+        self.heap.clear();
+        for &v in pool.touched_nodes() {
+            self.heap.push((self.marginal[v as usize], Reverse(v)));
+        }
+        self.fresh_round.clear();
+        self.fresh_round.resize(pool.n(), 0);
+
+        let mut seeds = Vec::with_capacity(b);
+        let mut covered = 0u32;
+        for round in 1..=b as u32 {
+            let picked = loop {
+                let Some(&(gain, Reverse(v))) = self.heap.peek() else {
+                    break None;
+                };
+                if gain == 0 {
+                    break None;
+                }
+                let current = self.marginal[v as usize];
+                if self.fresh_round[v as usize] == round || current == gain {
+                    // cached value is exact for this round
+                    self.heap.pop();
+                    break Some((v, current));
+                }
+                self.heap.pop();
+                self.fresh_round[v as usize] = round;
+                if current > 0 {
+                    self.heap.push((current, Reverse(v)));
+                }
+            };
+            let Some((v, gain)) = picked else { break };
+            seeds.push(v);
+            covered += gain;
+            self.commit_pick(pool, v);
+        }
+        GreedyCover { seeds, covered }
+    }
+
+    /// Eager greedy: rescans the live candidate list every pick, compacting
+    /// out nodes whose marginal has dropped to zero so exhausted nodes are
+    /// never rescanned. Runs in `O(b·|live| + Σ|R|)`.
+    pub fn select_eager(&mut self, pool: &SketchPool, b: usize) -> GreedyCover {
+        self.begin(pool);
+        self.scan.clear();
+        self.scan.extend_from_slice(pool.touched_nodes());
+        self.last_scanned = 0;
+
+        let mut seeds = Vec::with_capacity(b);
+        let mut covered = 0u32;
+        for _ in 0..b {
+            self.last_scanned += self.scan.len();
+            let mut best: Option<(NodeId, u32)> = None;
+            let mut live = 0usize;
+            for r in 0..self.scan.len() {
+                let v = self.scan[r];
+                let c = self.marginal[v as usize];
+                if c == 0 {
+                    // permanently zero by submodularity: drop from the list
+                    continue;
+                }
+                self.scan[live] = v;
+                live += 1;
+                if best.is_none_or(|(bv, bc)| c > bc || (c == bc && v < bv)) {
+                    best = Some((v, c));
+                }
+            }
+            self.scan.truncate(live);
+            let Some((v, gain)) = best else { break };
+            seeds.push(v);
+            covered += gain;
+            self.commit_pick(pool, v);
+        }
+        GreedyCover { seeds, covered }
+    }
+
+    /// Greedy picks until `bound(Λ(S))` reaches `target` or coverage runs
+    /// out (the stopping rule of the non-adaptive baselines). Returns the
+    /// cover and whether the target was reached.
+    pub fn select_until(
+        &mut self,
+        pool: &SketchPool,
+        target: f64,
+        bound: impl Fn(f64) -> f64,
+    ) -> (GreedyCover, bool) {
+        self.begin(pool);
+        self.scan.clear();
+        self.scan.extend_from_slice(pool.touched_nodes());
+
+        let mut seeds = Vec::new();
+        let mut covered = 0u32;
+        let reached = loop {
+            if bound(covered as f64) >= target {
+                break true;
+            }
+            let mut best: Option<(NodeId, u32)> = None;
+            let mut live = 0usize;
+            for r in 0..self.scan.len() {
+                let v = self.scan[r];
+                let c = self.marginal[v as usize];
+                if c == 0 {
+                    continue;
+                }
+                self.scan[live] = v;
+                live += 1;
+                if best.is_none_or(|(bv, bc)| c > bc || (c == bc && v < bv)) {
+                    best = Some((v, c));
+                }
+            }
+            self.scan.truncate(live);
+            let Some((v, gain)) = best else { break false };
+            seeds.push(v);
+            covered += gain;
+            self.commit_pick(pool, v);
+        };
+        (GreedyCover { seeds, covered }, reached)
+    }
+}
+
+/// Picks up to `b` nodes greedily maximizing marginal set coverage (eager
+/// reference scan; see [`CoverageEngine::select_eager`]).
+pub fn greedy_max_coverage(pool: &SketchPool, b: usize) -> GreedyCover {
+    CoverageEngine::new().select_eager(pool, b)
+}
+
+/// CELF-style lazy greedy: identical output to [`greedy_max_coverage`]
+/// (same tie-breaking) via [`CoverageEngine::select`].
+pub fn lazy_greedy_max_coverage(pool: &SketchPool, b: usize) -> GreedyCover {
+    CoverageEngine::new().select(pool, b)
 }
 
 /// `ρ_b = 1 − (1 − 1/b)^b`, the greedy max-coverage guarantee for batch size
@@ -59,64 +249,6 @@ pub fn greedy_max_coverage(pool: &SketchPool, b: usize) -> GreedyCover {
 pub fn rho_b(b: usize) -> f64 {
     assert!(b >= 1, "batch size must be at least 1");
     1.0 - (1.0 - 1.0 / b as f64).powi(b as i32)
-}
-
-/// CELF-style lazy greedy (Leskovec et al. 2007): identical output to
-/// [`greedy_max_coverage`] (same tie-breaking: higher gain first, then
-/// smaller node id) but skips recomputing marginals that submodularity
-/// proves stale. Wins when `b` is large relative to how quickly gains decay.
-pub fn lazy_greedy_max_coverage(pool: &SketchPool, b: usize) -> GreedyCover {
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
-
-    let mut marginal: Vec<u32> = pool.coverage_counts().to_vec();
-    let mut set_covered = vec![false; pool.len()];
-    // (cached gain, Reverse(node)): max-heap pops highest gain, smallest id.
-    let mut heap: BinaryHeap<(u32, Reverse<NodeId>)> = pool
-        .touched_nodes()
-        .iter()
-        .map(|&v| (marginal[v as usize], Reverse(v)))
-        .collect();
-    // round in which each node's cached gain was computed
-    let mut fresh_round: Vec<u32> = vec![0; pool.n()];
-    let mut seeds = Vec::with_capacity(b);
-    let mut covered = 0u32;
-
-    for round in 1..=b as u32 {
-        let picked = loop {
-            let Some(&(gain, Reverse(v))) = heap.peek() else {
-                break None;
-            };
-            if gain == 0 {
-                break None;
-            }
-            let current = marginal[v as usize];
-            if fresh_round[v as usize] == round || current == gain {
-                // cached value is exact for this round
-                heap.pop();
-                break Some((v, current));
-            }
-            heap.pop();
-            fresh_round[v as usize] = round;
-            if current > 0 {
-                heap.push((current, Reverse(v)));
-            }
-            continue;
-        };
-        let Some((v, gain)) = picked else { break };
-        seeds.push(v);
-        covered += gain;
-        for &s in pool.sets_of(v) {
-            if !set_covered[s as usize] {
-                set_covered[s as usize] = true;
-                for &u in pool.set(s) {
-                    marginal[u as usize] -= 1;
-                }
-            }
-        }
-    }
-
-    GreedyCover { seeds, covered }
 }
 
 #[cfg(test)]
@@ -137,6 +269,9 @@ mod tests {
         let g = greedy_max_coverage(&pool, 1);
         assert_eq!(g.seeds, vec![1]);
         assert_eq!(g.covered, 2);
+        let engine = CoverageEngine::new();
+        assert_eq!(engine.argmax(&pool), Some((1, 2)));
+        assert_eq!(engine.argmax(&pool), pool.argmax());
     }
 
     #[test]
@@ -184,7 +319,6 @@ mod tests {
             // brute force optimum
             let mut opt = 0u32;
             let nodes: Vec<NodeId> = (0..6).collect();
-            let mut comb = vec![0usize; b];
             fn rec(
                 nodes: &[NodeId],
                 pool: &SketchPool,
@@ -203,7 +337,6 @@ mod tests {
                     cur.pop();
                 }
             }
-            comb.clear();
             let mut cur = Vec::new();
             rec(&nodes, &pool, b, 0, &mut cur, &mut opt);
             assert!(
@@ -237,6 +370,78 @@ mod tests {
                 assert_eq!(simple, lazy, "case {case}, b = {b}");
             }
         }
+    }
+
+    #[test]
+    fn engine_reuse_across_pools_is_clean() {
+        // One engine serving different pools back to back (the TrimScratch
+        // pattern) must never leak covered-set or marginal state.
+        let mut engine = CoverageEngine::new();
+        let big = pool_from(&[&[0, 1], &[1, 2], &[2], &[3]], 4);
+        let small = pool_from(&[&[0]], 2);
+        for _ in 0..3 {
+            let g = engine.select(&big, 2);
+            assert_eq!(g, lazy_greedy_max_coverage(&big, 2));
+            let g = engine.select(&small, 1);
+            assert_eq!(g.seeds, vec![0]);
+            assert_eq!(g.covered, 1);
+            let g = engine.select_eager(&big, 4);
+            assert_eq!(g.covered, 4);
+        }
+    }
+
+    #[test]
+    fn eager_scan_compacts_exhausted_nodes() {
+        // 20 clusters: hub i covers that cluster's 50 sets, and each set
+        // carries a unique leaf. Greedy picks the 20 hubs; once a hub is
+        // picked its 50 leaves are permanently zero and must drop out of
+        // later scans. Without compaction every round rescans all 1020
+        // nodes (20 × 1020 = 20400 node visits); with it the scan shrinks by
+        // 51 nodes per round.
+        let clusters = 20usize;
+        let sets_per = 50usize;
+        let n = clusters + clusters * sets_per;
+        let mut pool = SketchPool::new(n);
+        for c in 0..clusters {
+            let hub = c as NodeId;
+            for s in 0..sets_per {
+                let leaf = (clusters + c * sets_per + s) as NodeId;
+                pool.add_set(&[hub, leaf]);
+            }
+        }
+        let mut engine = CoverageEngine::new();
+        let g = engine.select_eager(&pool, clusters);
+        assert_eq!(g.seeds.len(), clusters);
+        assert_eq!(g.covered as usize, clusters * sets_per);
+        let naive_visits = clusters * n;
+        assert!(
+            engine.last_scanned < naive_visits * 6 / 10,
+            "compaction regressed: scanned {} of naive {}",
+            engine.last_scanned,
+            naive_visits
+        );
+        // and the compacted scan returns exactly what CELF returns
+        assert_eq!(g, engine.select(&pool, clusters));
+    }
+
+    #[test]
+    fn select_until_reaches_target_or_exhausts() {
+        let pool = pool_from(&[&[0], &[0], &[1], &[2]], 3);
+        let mut engine = CoverageEngine::new();
+        // identity bound: stop once 3 sets are covered
+        let (g, reached) = engine.select_until(&pool, 3.0, |c| c);
+        assert!(reached);
+        assert_eq!(g.seeds, vec![0, 1]);
+        assert_eq!(g.covered, 3);
+        // unreachable target: exhausts coverage and reports failure
+        let (g, reached) = engine.select_until(&pool, 100.0, |c| c);
+        assert!(!reached);
+        assert_eq!(g.covered, 4);
+        assert_eq!(g.seeds, vec![0, 1, 2]);
+        // already-satisfied target picks nothing
+        let (g, reached) = engine.select_until(&pool, 0.0, |c| c);
+        assert!(reached);
+        assert!(g.seeds.is_empty());
     }
 
     #[test]

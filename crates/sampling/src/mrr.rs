@@ -71,7 +71,10 @@ pub fn sample_root_count(
     dist: RootCountDist,
     rng: &mut impl Rng,
 ) -> usize {
-    assert!(eta_i > 0, "shortfall must be positive while selecting seeds");
+    assert!(
+        eta_i > 0,
+        "shortfall must be positive while selecting seeds"
+    );
     assert!(n_alive > 0, "residual graph must be non-empty");
     let ratio = n_alive as f64 / eta_i as f64;
     let floor = ratio.floor() as usize;
@@ -174,7 +177,9 @@ impl MrrSampler {
         rng: &mut impl Rng,
         out: &mut Vec<NodeId>,
     ) -> usize {
-        let cost = self.reverse.sample_into(g, model, Some(alive), roots, rng, out);
+        let cost = self
+            .reverse
+            .sample_into(g, model, Some(alive), roots, rng, out);
         self.edges_examined += cost;
         self.sets_sampled += 1;
         cost
@@ -228,7 +233,10 @@ mod tests {
     fn integer_ratio_is_deterministic() {
         let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..100 {
-            assert_eq!(sample_root_count(10, 5, RootCountDist::Randomized, &mut rng), 2);
+            assert_eq!(
+                sample_root_count(10, 5, RootCountDist::Randomized, &mut rng),
+                2
+            );
         }
     }
 
@@ -237,12 +245,18 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(11);
         // eta_i = n_alive (ratio = 1): k must be exactly 1, never clamped up.
         for _ in 0..200 {
-            assert_eq!(sample_root_count(7, 7, RootCountDist::Randomized, &mut rng), 1);
+            assert_eq!(
+                sample_root_count(7, 7, RootCountDist::Randomized, &mut rng),
+                1
+            );
         }
         // eta_i = 1 (ratio = n, integral): k must be exactly n — the upper
         // clamp exists but Randomized reaches floor+1 with probability 0.
         for _ in 0..200 {
-            assert_eq!(sample_root_count(7, 1, RootCountDist::Randomized, &mut rng), 7);
+            assert_eq!(
+                sample_root_count(7, 1, RootCountDist::Randomized, &mut rng),
+                7
+            );
         }
     }
 
@@ -266,16 +280,28 @@ mod tests {
     #[test]
     fn fixed_variants() {
         let mut rng = SmallRng::seed_from_u64(4);
-        assert_eq!(sample_root_count(10, 3, RootCountDist::FixedFloor, &mut rng), 3);
-        assert_eq!(sample_root_count(10, 3, RootCountDist::FixedCeil, &mut rng), 4);
+        assert_eq!(
+            sample_root_count(10, 3, RootCountDist::FixedFloor, &mut rng),
+            3
+        );
+        assert_eq!(
+            sample_root_count(10, 3, RootCountDist::FixedCeil, &mut rng),
+            4
+        );
     }
 
     #[test]
     fn clamped_to_alive_count() {
         let mut rng = SmallRng::seed_from_u64(5);
         // eta = 1 -> ratio = n; ceil would exceed n, must clamp
-        assert_eq!(sample_root_count(4, 1, RootCountDist::FixedCeil, &mut rng), 4);
-        assert_eq!(sample_root_count(1, 1, RootCountDist::Randomized, &mut rng), 1);
+        assert_eq!(
+            sample_root_count(4, 1, RootCountDist::FixedCeil, &mut rng),
+            4
+        );
+        assert_eq!(
+            sample_root_count(1, 1, RootCountDist::Randomized, &mut rng),
+            1
+        );
     }
 
     #[test]

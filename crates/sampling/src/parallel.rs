@@ -112,7 +112,8 @@ impl WorkerScratch {
     fn sample_one(&mut self, job: &SketchJob<'_>, idx: usize) -> usize {
         let mut rng = job.rng_for(idx);
         let k = sample_root_count(job.snapshot.n_alive(), job.eta_i, job.dist, &mut rng);
-        self.draw.sample_from(&job.snapshot, k, &mut rng, &mut self.roots);
+        self.draw
+            .sample_from(&job.snapshot, k, &mut rng, &mut self.roots);
         self.reverse.sample_into(
             job.graph,
             job.model,
@@ -153,7 +154,10 @@ pub struct SketchGenPool {
 impl SketchGenPool {
     /// Generation pool for a graph with `n` nodes.
     pub fn new(n: usize) -> Self {
-        SketchGenPool { n, workers: Vec::new() }
+        SketchGenPool {
+            n,
+            workers: Vec::new(),
+        }
     }
 
     /// Grows the pool from `pool.len()` to `target` sets (no-op if already
@@ -253,7 +257,12 @@ impl SketchGenPool {
                             offs.push(nodes.len());
                         }
                         if tx
-                            .send(SketchChunk { ordinal, nodes, offs, edges_examined })
+                            .send(SketchChunk {
+                                ordinal,
+                                nodes,
+                                offs,
+                                edges_examined,
+                            })
                             .is_err()
                         {
                             break; // receiver gone: the caller is unwinding
@@ -270,7 +279,9 @@ impl SketchGenPool {
                 let ordinal = done.ordinal;
                 pending[ordinal] = Some(done);
                 while next < n_chunks {
-                    let Some(ch) = pending[next].take() else { break };
+                    let Some(ch) = pending[next].take() else {
+                        break;
+                    };
                     for w in ch.offs.windows(2) {
                         pool.add_set(&ch.nodes[w[0]..w[1]]);
                         stats.sets_generated += 1;
@@ -306,7 +317,9 @@ mod tests {
     }
 
     fn dump(pool: &SketchPool) -> Vec<Vec<NodeId>> {
-        (0..pool.len() as u32).map(|i| pool.set(i).to_vec()).collect()
+        (0..pool.len() as u32)
+            .map(|i| pool.set(i).to_vec())
+            .collect()
     }
 
     fn generate_with(threads: usize, target: usize) -> (Vec<Vec<NodeId>>, GenStats) {
@@ -336,7 +349,10 @@ mod tests {
         for threads in [2, 3, 8] {
             let (out, stats) = generate_with(threads, 600);
             assert_eq!(out, base, "{threads} threads diverged from sequential");
-            assert_eq!(stats, base_stats, "accounting diverged at {threads} threads");
+            assert_eq!(
+                stats, base_stats,
+                "accounting diverged at {threads} threads"
+            );
         }
     }
 
@@ -386,7 +402,10 @@ mod tests {
                 pool.set(id).iter().all(|&u| residual.is_alive(u)),
                 "set {id} contains a dead node"
             );
-            assert!(!pool.set(id).is_empty(), "roots are alive so sets are non-empty");
+            assert!(
+                !pool.set(id).is_empty(),
+                "roots are alive so sets are non-empty"
+            );
         }
     }
 

@@ -1,12 +1,51 @@
-//! Sketch pool: stores sampled (m)RR sets with incremental coverage counts.
+//! Sketch pool: columnar storage for sampled (m)RR sets with incremental
+//! coverage counts.
 //!
 //! TRIM needs `argmax_v Λ_R(v)` after every doubling; TRIM-B additionally
 //! needs greedy maximum coverage, which requires the node→sets inverted
 //! index. Both are maintained incrementally as sets arrive so a doubling
 //! never re-scans old sets.
+//!
+//! # Memory layout
+//!
+//! Everything is struct-of-arrays over a handful of flat buffers — no
+//! per-node or per-set heap allocations:
+//!
+//! * `set_nodes` + `set_off` — the sets themselves, flattened CSR-style;
+//! * the node→sets inverted index lives in one **chunked arena**: each node
+//!   owns a linked list of chunks (a `next` pointer followed by set-ids)
+//!   inside a single `Vec<u32>`. Chunk capacities grow geometrically
+//!   ([`INIT_CAP`] ids, doubling per link up to [`MAX_CAP`]), so a node in
+//!   `k` sets is spread over `O(log k)` chunks — the list walk is a handful
+//!   of pointer-chases into mostly-contiguous slices, not one dependent
+//!   load per entry. Appending a set touches only each member's tail chunk,
+//!   and `reset` is a truncation instead of `n` individual `Vec::clear`s.
+//!   The arena replaces the former `Vec<Vec<u32>>` (one heap allocation per
+//!   node, realloc churn on every doubling) that dominated pool rebuild
+//!   cost in the doubling loops.
+//!
+//! The pool is rebuilt and re-queried hundreds of times per adaptive run
+//! (the doubling structure of Algorithm 2/3), which is exactly the reuse
+//! pattern the arena is shaped for: capacity learned in round one is kept
+//! forever.
 
 use smin_graph::{GenStamp, NodeId};
 use std::cell::RefCell;
+
+/// Ids in a node's first chunk: one cache line including the `next` pointer.
+const INIT_CAP: u32 = 15;
+/// Chunk-capacity ceiling (16 KiB chunks); `next_cap` doubles up to here.
+const MAX_CAP: u32 = 4095;
+/// Null chunk reference (word index into the arena).
+const NONE: u32 = u32::MAX;
+
+/// Capacity of the chunk allocated after one of capacity `cap`:
+/// 15 → 31 → 63 → … → [`MAX_CAP`]. Both the appender and the iterator derive
+/// the sequence from this one function, so no capacity header is stored.
+#[inline]
+fn next_cap(cap: u32) -> u32 {
+    (cap * 2 + 1).min(MAX_CAP)
+}
 
 /// A pool of reverse-reachable sets over nodes `0..n`.
 #[derive(Clone, Debug)]
@@ -15,8 +54,17 @@ pub struct SketchPool {
     /// Flattened node lists, one slice per set.
     set_nodes: Vec<NodeId>,
     set_off: Vec<usize>,
-    /// Inverted index: for each node, which sets contain it.
-    node_sets: Vec<Vec<u32>>,
+    /// Chunked arena holding every node's inverted-index list. A chunk is
+    /// `[next, id, id, …]`; references are word indices into this vector.
+    arena: Vec<u32>,
+    /// First chunk of each node's list ([`NONE`] when empty).
+    head: Vec<u32>,
+    /// Last chunk of each node's list (append target).
+    tail: Vec<u32>,
+    /// Capacity of each node's tail chunk.
+    tail_cap: Vec<u32>,
+    /// Free id slots remaining in each node's tail chunk.
+    tail_free: Vec<u32>,
     /// `coverage[v] = Λ_R(v)`, the number of sets containing `v`.
     coverage: Vec<u32>,
     /// Nodes with non-zero coverage, in first-touch order. Lets `argmax` and
@@ -39,7 +87,11 @@ impl SketchPool {
             n,
             set_nodes: Vec::new(),
             set_off: vec![0],
-            node_sets: vec![Vec::new(); n],
+            arena: Vec::new(),
+            head: vec![NONE; n],
+            tail: vec![NONE; n],
+            tail_cap: vec![0; n],
+            tail_free: vec![0; n],
             coverage: vec![0; n],
             touched: Vec::new(),
             empty_sets: 0,
@@ -51,9 +103,13 @@ impl SketchPool {
     pub fn reset(&mut self) {
         for &v in &self.touched {
             self.coverage[v as usize] = 0;
-            self.node_sets[v as usize].clear();
+            self.head[v as usize] = NONE;
+            self.tail[v as usize] = NONE;
+            self.tail_cap[v as usize] = 0;
+            self.tail_free[v as usize] = 0;
         }
         self.touched.clear();
+        self.arena.clear();
         self.set_nodes.clear();
         self.set_off.clear();
         self.set_off.push(0);
@@ -84,6 +140,36 @@ impl SketchPool {
         self.set_nodes.len()
     }
 
+    /// Heap bytes currently held by the pool's buffers (arena, flattened
+    /// sets, per-node columns). Benchmarks report this to track the memory
+    /// side of the arena layout.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.set_nodes.capacity() * size_of::<NodeId>()
+            + self.set_off.capacity() * size_of::<usize>()
+            + self.arena.capacity() * size_of::<u32>()
+            + self.head.capacity() * size_of::<u32>()
+            + self.tail.capacity() * size_of::<u32>()
+            + self.tail_cap.capacity() * size_of::<u32>()
+            + self.tail_free.capacity() * size_of::<u32>()
+            + self.coverage.capacity() * size_of::<u32>()
+            + self.touched.capacity() * size_of::<NodeId>()
+    }
+
+    /// Allocates one fresh chunk of `cap` ids, returning its word index.
+    #[inline]
+    fn alloc_chunk(&mut self, cap: u32) -> u32 {
+        let idx = self.arena.len();
+        // Chunk references are u32 word indices; the arena would need 16 GiB
+        // before this fires.
+        assert!(
+            idx + cap as usize + 1 < NONE as usize,
+            "sketch-pool arena word index overflow"
+        );
+        self.arena.resize(idx + cap as usize + 1, NONE);
+        idx as u32
+    }
+
     /// Adds one set; duplicates within `nodes` must already be removed
     /// (the samplers guarantee this).
     pub fn add_set(&mut self, nodes: &[NodeId]) {
@@ -97,11 +183,30 @@ impl SketchPool {
         let id = id as u32;
         for &v in nodes {
             debug_assert!((v as usize) < self.n);
-            self.node_sets[v as usize].push(id);
-            if self.coverage[v as usize] == 0 {
-                self.touched.push(v);
+            let vi = v as usize;
+            if self.tail_free[vi] == 0 {
+                // tail chunk full (or list empty): link in a fresh chunk,
+                // doubling the capacity so heavy nodes stay O(log k) chunks
+                let cap = if self.coverage[vi] == 0 {
+                    INIT_CAP
+                } else {
+                    next_cap(self.tail_cap[vi])
+                };
+                let chunk = self.alloc_chunk(cap);
+                if self.coverage[vi] == 0 {
+                    self.head[vi] = chunk;
+                    self.touched.push(v);
+                } else {
+                    self.arena[self.tail[vi] as usize] = chunk;
+                }
+                self.tail[vi] = chunk;
+                self.tail_cap[vi] = cap;
+                self.tail_free[vi] = cap;
             }
-            self.coverage[v as usize] += 1;
+            let fill = self.tail_cap[vi] - self.tail_free[vi];
+            self.arena[self.tail[vi] as usize + 1 + fill as usize] = id;
+            self.tail_free[vi] -= 1;
+            self.coverage[vi] += 1;
         }
         if nodes.is_empty() {
             self.empty_sets += 1;
@@ -116,10 +221,17 @@ impl SketchPool {
         &self.set_nodes[self.set_off[id as usize]..self.set_off[id as usize + 1]]
     }
 
-    /// Sets containing `v`.
+    /// Sets containing `v`, in insertion order. Walks the node's chunk list
+    /// inside the arena; the iterator is exact-sized (`Λ_R(v)` entries).
     #[inline]
-    pub fn sets_of(&self, v: NodeId) -> &[u32] {
-        &self.node_sets[v as usize]
+    pub fn sets_of(&self, v: NodeId) -> SetsOf<'_> {
+        SetsOf {
+            arena: &self.arena,
+            chunk: self.head[v as usize],
+            cap: INIT_CAP,
+            pos: 0,
+            remaining: self.coverage[v as usize],
+        }
     }
 
     /// `Λ_R(v)`.
@@ -142,11 +254,11 @@ impl SketchPool {
         seen.begin(self.len());
         let mut c = 0u32;
         for &v in nodes {
-            for &s in self.sets_of(v) {
+            self.sets_of(v).for_each(|s| {
                 if seen.mark(s as usize) {
                     c += 1;
                 }
-            }
+            });
         }
         c
     }
@@ -157,23 +269,90 @@ impl SketchPool {
         &self.touched
     }
 
-    /// `argmax_v Λ_R(v)` with ties broken toward the earlier-touched node;
-    /// `None` when the pool covers nothing. O(touched).
+    /// `argmax_v Λ_R(v)`; `None` when the pool covers nothing. O(touched).
+    ///
+    /// Delegates to the coverage engine's shared candidate scan, so the tie
+    /// rule (higher coverage, then smaller node id) is identical to the
+    /// first pick of every greedy strategy in [`crate::coverage`].
     pub fn argmax(&self) -> Option<(NodeId, u32)> {
-        let mut best: Option<(NodeId, u32)> = None;
-        for &v in &self.touched {
-            let c = self.coverage[v as usize];
-            if best.is_none_or(|(_, bc)| c > bc) {
-                best = Some((v, c));
-            }
-        }
-        best
+        crate::coverage::best_node(&self.touched, &self.coverage)
     }
 }
+
+/// Iterator over the sets containing one node (see [`SketchPool::sets_of`]).
+#[derive(Clone, Debug)]
+pub struct SetsOf<'a> {
+    arena: &'a [u32],
+    /// Word index of the current chunk ([`NONE`] only when exhausted).
+    chunk: u32,
+    /// Capacity of the current chunk (replayed via [`next_cap`], so no
+    /// per-chunk header is needed).
+    cap: u32,
+    /// Ids consumed from the current chunk.
+    pos: u32,
+    remaining: u32,
+}
+
+impl Iterator for SetsOf<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if self.pos == self.cap {
+            self.chunk = self.arena[self.chunk as usize];
+            self.cap = next_cap(self.cap);
+            self.pos = 0;
+        }
+        let id = self.arena[self.chunk as usize + 1 + self.pos as usize];
+        self.pos += 1;
+        self.remaining -= 1;
+        Some(id)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+
+    /// Chunk-at-a-time traversal: internal iteration visits each chunk as a
+    /// slice, so `for_each`/`fold` consumers (the greedy hot path) pay one
+    /// `next`-pointer load per chunk — `O(log k)` chases for a node in `k`
+    /// sets — and iterate contiguous memory in between.
+    fn fold<B, F>(mut self, init: B, mut f: F) -> B
+    where
+        F: FnMut(B, u32) -> B,
+    {
+        let mut acc = init;
+        // A partially consumed chunk first (pos > 0 after external next()s).
+        while self.remaining > 0 {
+            let base = self.chunk as usize + 1 + self.pos as usize;
+            let take = (self.cap - self.pos).min(self.remaining) as usize;
+            for &id in &self.arena[base..base + take] {
+                acc = f(acc, id);
+            }
+            self.remaining -= take as u32;
+            if self.remaining > 0 {
+                self.chunk = self.arena[self.chunk as usize];
+                self.cap = next_cap(self.cap);
+                self.pos = 0;
+            }
+        }
+        acc
+    }
+}
+
+impl ExactSizeIterator for SetsOf<'_> {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sets_of_vec(pool: &SketchPool, v: NodeId) -> Vec<u32> {
+        pool.sets_of(v).collect()
+    }
 
     #[test]
     fn coverage_counts_incrementally() {
@@ -199,6 +378,14 @@ mod tests {
     }
 
     #[test]
+    fn argmax_breaks_ties_toward_smaller_id() {
+        let mut pool = SketchPool::new(4);
+        pool.add_set(&[3]); // touched first, same coverage
+        pool.add_set(&[1]);
+        assert_eq!(pool.argmax(), Some((1, 1)));
+    }
+
+    #[test]
     fn argmax_none_when_empty() {
         let pool = SketchPool::new(3);
         assert_eq!(pool.argmax(), None);
@@ -213,10 +400,31 @@ mod tests {
         let mut pool = SketchPool::new(3);
         pool.add_set(&[0, 2]);
         pool.add_set(&[2]);
-        assert_eq!(pool.sets_of(2), &[0, 1]);
-        assert_eq!(pool.sets_of(0), &[0]);
+        assert_eq!(sets_of_vec(&pool, 2), vec![0, 1]);
+        assert_eq!(sets_of_vec(&pool, 0), vec![0]);
         assert_eq!(pool.set(0), &[0, 2]);
         assert_eq!(pool.set(1), &[2]);
+    }
+
+    #[test]
+    fn inverted_index_spans_many_chunks() {
+        // One node in 100 sets: the chunk list is 100/7 ≈ 15 chunks long and
+        // must replay ids in exact insertion order.
+        let mut pool = SketchPool::new(2);
+        for i in 0..100u32 {
+            if i % 3 == 0 {
+                pool.add_set(&[0, 1]);
+            } else {
+                pool.add_set(&[0]);
+            }
+        }
+        assert_eq!(pool.coverage(0), 100);
+        assert_eq!(sets_of_vec(&pool, 0), (0..100).collect::<Vec<_>>());
+        assert_eq!(
+            sets_of_vec(&pool, 1),
+            (0..100).filter(|i| i % 3 == 0).collect::<Vec<_>>()
+        );
+        assert_eq!(pool.sets_of(0).len(), 100, "exact-size iterator");
     }
 
     #[test]
@@ -231,8 +439,25 @@ mod tests {
         assert_eq!(pool.argmax(), None);
         pool.add_set(&[2]);
         assert_eq!(pool.argmax(), Some((2, 1)));
-        assert_eq!(pool.sets_of(1), &[] as &[u32]);
-        assert_eq!(pool.sets_of(2), &[0]);
+        assert_eq!(sets_of_vec(&pool, 1), Vec::<u32>::new());
+        assert_eq!(sets_of_vec(&pool, 2), vec![0]);
+    }
+
+    #[test]
+    fn reset_then_refill_reuses_arena_without_leaks() {
+        let mut pool = SketchPool::new(4);
+        for _ in 0..30 {
+            pool.add_set(&[0, 2]);
+        }
+        pool.reset();
+        assert!(pool.heap_bytes() > 0, "capacity survives reset");
+        for i in 0..10u32 {
+            pool.add_set(&[2, 3]);
+            assert_eq!(pool.coverage(2), i + 1);
+        }
+        assert_eq!(sets_of_vec(&pool, 0), Vec::<u32>::new());
+        assert_eq!(sets_of_vec(&pool, 2), (0..10).collect::<Vec<_>>());
+        assert_eq!(sets_of_vec(&pool, 3), (0..10).collect::<Vec<_>>());
     }
 
     #[test]
@@ -285,5 +510,15 @@ mod tests {
         assert_eq!(pool.coverage_of_set(&[0]), 1);
         assert_eq!(cloned.coverage_of_set(&[0]), 1);
         assert_eq!(cloned.coverage_of_set(&[0]), 1);
+    }
+
+    #[test]
+    fn heap_bytes_tracks_growth() {
+        let mut pool = SketchPool::new(100);
+        let empty = pool.heap_bytes();
+        for i in 0..50u32 {
+            pool.add_set(&[i, i + 1, i + 2]);
+        }
+        assert!(pool.heap_bytes() > empty);
     }
 }

@@ -16,11 +16,14 @@
 //! `i > 1` on `G_i`.
 
 use rand::Rng;
-use smin_graph::{Graph, NodeId};
+use smin_graph::{FixedBitSet, Graph, NodeId};
 
 /// Reusable scratch for reverse stochastic BFS on one graph.
 pub struct ReverseSampler {
-    visited: Vec<bool>,
+    /// Word-packed frontier membership: 8× denser than the former
+    /// `Vec<bool>`, so the mask for a million-node graph stays cache-resident
+    /// across the thousands of samples each doubling round draws.
+    visited: FixedBitSet,
     queue: Vec<NodeId>,
 }
 
@@ -28,7 +31,7 @@ impl ReverseSampler {
     /// Scratch for a graph with `n` nodes.
     pub fn new(n: usize) -> Self {
         ReverseSampler {
-            visited: vec![false; n],
+            visited: FixedBitSet::new(n),
             queue: Vec::new(),
         }
     }
@@ -52,8 +55,7 @@ impl ReverseSampler {
         self.queue.clear();
         let is_alive = |u: NodeId| alive.is_none_or(|a| a[u as usize]);
         for &r in roots {
-            if is_alive(r) && !self.visited[r as usize] {
-                self.visited[r as usize] = true;
+            if is_alive(r) && self.visited.insert(r as usize) {
                 out.push(r);
                 self.queue.push(r);
             }
@@ -70,8 +72,8 @@ impl ReverseSampler {
                             continue;
                         }
                         edges_examined += 1;
-                        if !self.visited[u as usize] && rng.random::<f64>() < p {
-                            self.visited[u as usize] = true;
+                        if !self.visited.contains(u as usize) && rng.random::<f64>() < p {
+                            self.visited.insert(u as usize);
                             out.push(u);
                             self.queue.push(u);
                         }
@@ -85,8 +87,7 @@ impl ReverseSampler {
                     for (u, p, _) in g.in_edges(v) {
                         edges_examined += 1;
                         if r < p {
-                            if is_alive(u) && !self.visited[u as usize] {
-                                self.visited[u as usize] = true;
+                            if is_alive(u) && self.visited.insert(u as usize) {
                                 out.push(u);
                                 self.queue.push(u);
                             }
@@ -99,7 +100,7 @@ impl ReverseSampler {
         }
         // O(|set|) cleanup keeps repeated sampling allocation-free.
         for &u in out.iter() {
-            self.visited[u as usize] = false;
+            self.visited.remove(u as usize);
         }
         edges_examined
     }

@@ -27,8 +27,8 @@ fn main() {
         .collect();
 
     // Non-adaptive: ATEUC picks ONE set achieving E[I(S)] ≥ η.
-    let out = ateuc(&g, Model::IC, eta, &AteucParams::default(), &mut rng)
-        .expect("parameters are valid");
+    let out =
+        ateuc(&g, Model::IC, eta, &AteucParams::default(), &mut rng).expect("parameters are valid");
     let spreads = evaluate_on_realizations(&g, &out.seeds, &realizations);
 
     // Adaptive: ASTI re-runs per world, observing as it goes.
@@ -44,7 +44,10 @@ fn main() {
         asti_spreads.push(report.total_activated);
     }
 
-    println!("threshold η = {eta}; ATEUC selected |S| = {} once\n", out.seeds.len());
+    println!(
+        "threshold η = {eta}; ATEUC selected |S| = {} once\n",
+        out.seeds.len()
+    );
     println!("world  ATEUC spread  status      ASTI spread  ASTI seeds");
     let mut misses = 0;
     for i in 0..worlds {

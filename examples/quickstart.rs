@@ -28,8 +28,8 @@ fn main() {
 
     // 3. Run ASTI (TRIM each round, ε = 0.5 — the paper's setting).
     let params = AstiParams::with_eps(0.5);
-    let report = asti(&g, Model::IC, eta, &params, &mut oracle, &mut rng)
-        .expect("parameters are valid");
+    let report =
+        asti(&g, Model::IC, eta, &params, &mut oracle, &mut rng).expect("parameters are valid");
 
     // 4. Inspect what happened.
     println!(

@@ -39,8 +39,15 @@ fn main() {
         let inner = RealizationOracle::new(&g, phi);
         let mut oracle = LoggingOracle::new(inner, g.n());
         let mut rng = SmallRng::seed_from_u64(42);
-        let report = asti(&g, Model::IC, eta, &AstiParams::with_eps(0.5), &mut oracle, &mut rng)
-            .expect("parameters are valid");
+        let report = asti(
+            &g,
+            Model::IC,
+            eta,
+            &AstiParams::with_eps(0.5),
+            &mut oracle,
+            &mut rng,
+        )
+        .expect("parameters are valid");
         println!(
             "{name}             {:>5}  {:>6}  {:>6}",
             report.num_seeds(),

@@ -35,8 +35,8 @@ fn main() {
         let mut oracle = RealizationOracle::new(&g, phi.clone());
         let mut rng = SmallRng::seed_from_u64(99);
         let params = AstiParams::batched(0.5, b);
-        let report = asti(&g, Model::IC, eta, &params, &mut oracle, &mut rng)
-            .expect("parameters are valid");
+        let report =
+            asti(&g, Model::IC, eta, &params, &mut oracle, &mut rng).expect("parameters are valid");
         assert!(report.reached, "adaptive campaigns always reach the target");
         println!(
             "{:>5}  {:>17}  {:>5}  {:>14.3?}",

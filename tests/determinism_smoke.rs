@@ -18,8 +18,15 @@ fn run_once(seed: u64) -> (usize, Vec<u32>, usize) {
     let g = assemble(400, &pairs, true, WeightModel::WeightedCascade, &mut rng).unwrap();
     let phi = Realization::sample(&g, Model::IC, &mut rng);
     let mut oracle = RealizationOracle::new(&g, phi);
-    let report = asti(&g, Model::IC, 40, &AstiParams::with_eps(0.5), &mut oracle, &mut rng)
-        .expect("valid parameters");
+    let report = asti(
+        &g,
+        Model::IC,
+        40,
+        &AstiParams::with_eps(0.5),
+        &mut oracle,
+        &mut rng,
+    )
+    .expect("valid parameters");
     (g.m(), report.seeds.clone(), report.total_activated)
 }
 
@@ -47,7 +54,74 @@ fn thread_fixture() -> (Graph, ResidualState) {
 }
 
 fn dump_pool(pool: &SketchPool) -> Vec<Vec<u32>> {
-    (0..pool.len() as u32).map(|i| pool.set(i).to_vec()).collect()
+    (0..pool.len() as u32)
+        .map(|i| pool.set(i).to_vec())
+        .collect()
+}
+
+/// FNV-1a over the pool's flattened set contents (order-sensitive).
+fn pool_digest(pool: &SketchPool) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for i in 0..pool.len() as u32 {
+        for &v in pool.set(i) {
+            h ^= v as u64 + 1;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= 0xFFFF_FFFF;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Golden regression: selections and pool contents captured from the
+/// pre-arena (`Vec<Vec<u32>>` inverted index) implementation. The columnar
+/// refactor must be bit-identical on every thread count — if a layout or
+/// tie-breaking change trips this test, it changed observable behavior, not
+/// just performance.
+#[test]
+fn selections_match_pre_refactor_goldens() {
+    let (g, residual) = thread_fixture();
+    for threads in [1usize, 2, 8] {
+        let params = TrimParams::with_eps(0.4).with_threads(threads);
+        let mut scratch = TrimScratch::new(g.n());
+        let mut rng = SmallRng::seed_from_u64(0xA57);
+        let out = trim(
+            &g,
+            Model::IC,
+            &residual,
+            60,
+            &params,
+            &mut scratch,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.node, 399, "trim selection drifted at {threads} threads");
+        assert_eq!(out.coverage, 581);
+        assert_eq!(out.sets_generated, 864);
+        assert_eq!(pool_digest(scratch.pool()), 0x4c12033beb864a01);
+
+        let mut scratch = TrimScratch::new(g.n());
+        let mut rng = SmallRng::seed_from_u64(0xB47C);
+        let out = trim_b(
+            &g,
+            Model::IC,
+            &residual,
+            60,
+            4,
+            &params,
+            &mut scratch,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.seeds, vec![399, 212, 521, 546], "trim_b batch drifted");
+        assert_eq!(out.coverage, 788);
+        assert_eq!(out.sets_generated, 828);
+        assert_eq!(pool_digest(scratch.pool()), 0xa57c3c3e46341392);
+    }
+
+    let (_, seeds, activated) = run_once(0xA571);
+    assert_eq!(seeds, vec![227, 238], "full ASTI seed sequence drifted");
+    assert_eq!(activated, 72);
 }
 
 #[test]
@@ -58,8 +132,22 @@ fn trim_selection_and_pool_identical_across_thread_counts() {
         let params = TrimParams::with_eps(0.4).with_threads(threads);
         let mut scratch = TrimScratch::new(g.n());
         let mut rng = SmallRng::seed_from_u64(0xA57);
-        let out = trim(&g, Model::IC, &residual, 60, &params, &mut scratch, &mut rng).unwrap();
-        let state = (out.node, out.coverage, out.sets_generated, dump_pool(scratch.pool()));
+        let out = trim(
+            &g,
+            Model::IC,
+            &residual,
+            60,
+            &params,
+            &mut scratch,
+            &mut rng,
+        )
+        .unwrap();
+        let state = (
+            out.node,
+            out.coverage,
+            out.sets_generated,
+            dump_pool(scratch.pool()),
+        );
         match &baseline {
             None => baseline = Some(state),
             Some(base) => {
@@ -85,8 +173,17 @@ fn trim_b_batch_identical_across_thread_counts() {
         let params = TrimParams::with_eps(0.4).with_threads(threads);
         let mut scratch = TrimScratch::new(g.n());
         let mut rng = SmallRng::seed_from_u64(0xB47C);
-        let out =
-            trim_b(&g, Model::IC, &residual, 60, 4, &params, &mut scratch, &mut rng).unwrap();
+        let out = trim_b(
+            &g,
+            Model::IC,
+            &residual,
+            60,
+            4,
+            &params,
+            &mut scratch,
+            &mut rng,
+        )
+        .unwrap();
         let state = (out.seeds.clone(), out.coverage, dump_pool(scratch.pool()));
         match &baseline {
             None => baseline = Some(state),

@@ -22,8 +22,15 @@ fn asti_reaches_eta_on_every_sampled_world_ic_and_lt() {
             let mut rng = SmallRng::seed_from_u64(world);
             let phi = Realization::sample(&g, model, &mut rng);
             let mut oracle = RealizationOracle::new(&g, phi);
-            let report = asti(&g, model, 60, &AstiParams::with_eps(0.5), &mut oracle, &mut rng)
-                .expect("valid parameters");
+            let report = asti(
+                &g,
+                model,
+                60,
+                &AstiParams::with_eps(0.5),
+                &mut oracle,
+                &mut rng,
+            )
+            .expect("valid parameters");
             assert!(report.reached, "{model} world {world}");
             assert!(report.total_activated >= 60);
             // every selected seed was inactive at selection time, so seeds
@@ -54,8 +61,15 @@ fn asti_seed_count_is_near_oracle_on_tiny_graphs() {
         let mut o1 = RealizationOracle::new(&g, phi.clone());
         let oracle_seeds = exact_greedy_policy(&g, Model::IC, eta, &mut o1, &mut rng).unwrap();
         let mut o2 = RealizationOracle::new(&g, phi);
-        let report = asti(&g, Model::IC, eta, &AstiParams::with_eps(0.3), &mut o2, &mut rng)
-            .expect("valid parameters");
+        let report = asti(
+            &g,
+            Model::IC,
+            eta,
+            &AstiParams::with_eps(0.3),
+            &mut o2,
+            &mut rng,
+        )
+        .expect("valid parameters");
         assert!(report.reached);
         oracle_total += oracle_seeds.len();
         asti_total += report.num_seeds();
@@ -79,8 +93,15 @@ fn batch_size_trades_seeds_for_rounds() {
             let mut rng = SmallRng::seed_from_u64(300 + world as u64);
             let phi = Realization::sample(&g, Model::IC, &mut rng);
             let mut oracle = RealizationOracle::new(&g, phi);
-            let report = asti(&g, Model::IC, eta, &AstiParams::batched(0.5, b), &mut oracle, &mut rng)
-                .expect("valid parameters");
+            let report = asti(
+                &g,
+                Model::IC,
+                eta,
+                &AstiParams::batched(0.5, b),
+                &mut oracle,
+                &mut rng,
+            )
+            .expect("valid parameters");
             assert!(report.reached);
             seeds += report.num_seeds();
             rounds += report.num_rounds();
@@ -101,9 +122,16 @@ fn deterministic_given_seeds() {
         let mut rng = SmallRng::seed_from_u64(seed);
         let phi = Realization::sample(&g, Model::IC, &mut rng);
         let mut oracle = RealizationOracle::new(&g, phi);
-        asti(&g, Model::IC, 50, &AstiParams::with_eps(0.5), &mut oracle, &mut rng)
-            .unwrap()
-            .seeds
+        asti(
+            &g,
+            Model::IC,
+            50,
+            &AstiParams::with_eps(0.5),
+            &mut oracle,
+            &mut rng,
+        )
+        .unwrap()
+        .seeds
     };
     assert_eq!(run(9), run(9), "same seed must reproduce the exact run");
     // and (overwhelmingly) a different seed gives a different world/run
@@ -128,13 +156,24 @@ fn adaptive_beats_nonadaptive_in_feasibility() {
     for phi in &worlds {
         let mut oracle = RealizationOracle::new(&g, phi.clone());
         let mut rng = SmallRng::seed_from_u64(12);
-        let report = asti(&g, Model::IC, eta, &AstiParams::with_eps(0.5), &mut oracle, &mut rng)
-            .unwrap();
+        let report = asti(
+            &g,
+            Model::IC,
+            eta,
+            &AstiParams::with_eps(0.5),
+            &mut oracle,
+            &mut rng,
+        )
+        .unwrap();
         if report.reached {
             asti_feasible += 1;
         }
     }
-    assert_eq!(asti_feasible, worlds.len(), "ASTI is feasible by construction");
+    assert_eq!(
+        asti_feasible,
+        worlds.len(),
+        "ASTI is feasible by construction"
+    );
     let ateuc_feasible = ateuc_spreads.iter().filter(|&&s| s >= eta).count();
     assert!(
         ateuc_feasible <= worlds.len(),
@@ -155,10 +194,25 @@ fn adapt_im_matches_asti_effectiveness_but_costs_more_samples() {
         let mut rng = SmallRng::seed_from_u64(500 + world);
         let phi = Realization::sample(&g, Model::IC, &mut rng);
         let mut o1 = RealizationOracle::new(&g, phi.clone());
-        let r1 = asti(&g, Model::IC, eta, &AstiParams::with_eps(0.5), &mut o1, &mut rng).unwrap();
+        let r1 = asti(
+            &g,
+            Model::IC,
+            eta,
+            &AstiParams::with_eps(0.5),
+            &mut o1,
+            &mut rng,
+        )
+        .unwrap();
         let mut o2 = RealizationOracle::new(&g, phi);
-        let r2 = adapt_im(&g, Model::IC, eta, &AdaptImParams::with_eps(0.5), &mut o2, &mut rng)
-            .unwrap();
+        let r2 = adapt_im(
+            &g,
+            Model::IC,
+            eta,
+            &AdaptImParams::with_eps(0.5),
+            &mut o2,
+            &mut rng,
+        )
+        .unwrap();
         assert!(r1.reached && r2.reached);
         asti_sets += r1.total_sets;
         adapt_sets += r2.total_sets;
@@ -180,16 +234,35 @@ fn warm_started_oracle_composes_with_asti() {
     let phi = Realization::sample(&g, Model::IC, &mut rng);
     let mut oracle = RealizationOracle::new(&g, phi);
     // phase 1: reach 30
-    let r1 = asti(&g, Model::IC, 30, &AstiParams::with_eps(0.5), &mut oracle, &mut rng).unwrap();
+    let r1 = asti(
+        &g,
+        Model::IC,
+        30,
+        &AstiParams::with_eps(0.5),
+        &mut oracle,
+        &mut rng,
+    )
+    .unwrap();
     assert!(r1.reached);
     let active_after_phase1 = oracle.num_active();
     // phase 2: extend the SAME oracle to 60 — previous activations count
-    let r2 = asti(&g, Model::IC, 60, &AstiParams::with_eps(0.5), &mut oracle, &mut rng).unwrap();
+    let r2 = asti(
+        &g,
+        Model::IC,
+        60,
+        &AstiParams::with_eps(0.5),
+        &mut oracle,
+        &mut rng,
+    )
+    .unwrap();
     assert!(r2.reached);
     assert!(oracle.num_active() >= 60);
     assert!(r2.total_activated >= active_after_phase1);
     // phase 2 must not have re-selected phase-1 seeds
     for s in &r2.seeds {
-        assert!(!r1.seeds.contains(s), "seed {s} selected twice across phases");
+        assert!(
+            !r1.seeds.contains(s),
+            "seed {s} selected twice across phases"
+        );
     }
 }

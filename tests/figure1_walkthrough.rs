@@ -51,7 +51,10 @@ fn adaptive_walkthrough_matches_figure() {
     newly.sort_unstable();
     assert_eq!(newly, vec![0, 3, 5], "v1 activates v1, v4, v6");
     assert_eq!(oracle.num_active(), 3);
-    assert!(oracle.num_active() < eta, "threshold not yet met — continue");
+    assert!(
+        oracle.num_active() < eta,
+        "threshold not yet met — continue"
+    );
     residual.kill_all(&newly);
 
     // Residual graph G2: exactly {v2, v3, v5} remain, as the paper states.
@@ -62,9 +65,16 @@ fn adaptive_walkthrough_matches_figure() {
     // Round 2: seed v3 (node 2) as in Figure 1(d).
     let mut newly = oracle.observe(&[2]);
     newly.sort_unstable();
-    assert_eq!(newly, vec![2, 4], "v3 activates itself and v5 via the live thin edge");
+    assert_eq!(
+        newly,
+        vec![2, 4],
+        "v3 activates itself and v5 via the live thin edge"
+    );
     assert_eq!(oracle.num_active(), 5);
-    assert!(oracle.num_active() >= eta, "threshold reached; process terminates");
+    assert!(
+        oracle.num_active() >= eta,
+        "threshold reached; process terminates"
+    );
 }
 
 #[test]
@@ -79,8 +89,15 @@ fn walkthrough_via_asti_terminates_with_at_most_three_seeds() {
     for seed in 0..10u64 {
         let mut oracle = RealizationOracle::new(&g, figure1_phi());
         let mut rng = SmallRng::seed_from_u64(seed);
-        let report = asti(&g, Model::IC, 4, &AstiParams::with_eps(0.5), &mut oracle, &mut rng)
-            .expect("valid parameters");
+        let report = asti(
+            &g,
+            Model::IC,
+            4,
+            &AstiParams::with_eps(0.5),
+            &mut oracle,
+            &mut rng,
+        )
+        .expect("valid parameters");
         assert!(report.reached);
         assert!(
             report.num_seeds() <= 3,
@@ -114,10 +131,19 @@ fn degenerate_oracle_cannot_hang_asti() {
     use rand::SeedableRng;
     use seedmin::prelude::*;
     let g = figure1_graph();
-    let mut oracle = SilentOracle { active: vec![false; 6] };
+    let mut oracle = SilentOracle {
+        active: vec![false; 6],
+    };
     let mut rng = SmallRng::seed_from_u64(1);
-    let report = asti(&g, Model::IC, 4, &AstiParams::with_eps(0.5), &mut oracle, &mut rng)
-        .expect("valid parameters");
+    let report = asti(
+        &g,
+        Model::IC,
+        4,
+        &AstiParams::with_eps(0.5),
+        &mut oracle,
+        &mut rng,
+    )
+    .expect("valid parameters");
     assert!(!report.reached, "a silent world can never reach η");
     assert!(report.num_seeds() <= 6, "at most one seed per node");
 }

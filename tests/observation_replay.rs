@@ -61,7 +61,10 @@ fn truncated_log_fails_loudly_mid_replay() {
     let mut rng = SmallRng::seed_from_u64(99);
     let original = asti(&g, Model::IC, eta, &params, &mut recorder, &mut rng).unwrap();
     let (mut log, _) = recorder.into_parts();
-    assert!(original.num_rounds() >= 2, "need a multi-round campaign for this test");
+    assert!(
+        original.num_rounds() >= 2,
+        "need a multi-round campaign for this test"
+    );
     log.steps.truncate(original.num_rounds() - 1);
 
     let mut replay = ReplayOracle::new(log);
@@ -69,7 +72,70 @@ fn truncated_log_fails_loudly_mid_replay() {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let _ = asti(&g, Model::IC, eta, &params, &mut replay, &mut rng);
     }));
-    assert!(result.is_err(), "truncated replay must panic, not silently differ");
+    assert!(
+        result.is_err(),
+        "truncated replay must panic, not silently differ"
+    );
+}
+
+#[test]
+fn audit_line_format_is_pinned() {
+    // Golden serialization: the CLI's `asm run --audit` files use exactly
+    // this line format, so any change here silently breaks every archived
+    // audit trail. The text below is the contract, byte for byte.
+    use seedmin::diffusion::ObservationStep;
+    let log = ObservationLog {
+        n: 7,
+        steps: vec![
+            ObservationStep {
+                seeds: vec![3],
+                activated: vec![3, 5, 6],
+            },
+            ObservationStep {
+                seeds: vec![0, 2],
+                activated: vec![0],
+            },
+            ObservationStep {
+                seeds: vec![1],
+                activated: vec![],
+            },
+        ],
+    };
+    let golden = "\
+# observation log, n = 7
+S 3 | A 3 5 6
+S 0 2 | A 0
+S 1 | A
+";
+    assert_eq!(
+        log.to_text(),
+        golden,
+        "serialized format drifted from golden"
+    );
+    let parsed = ObservationLog::from_text(golden).unwrap();
+    assert_eq!(parsed, log, "golden text no longer parses to the same log");
+    // idempotent round trip
+    assert_eq!(
+        ObservationLog::from_text(&parsed.to_text()).unwrap(),
+        parsed
+    );
+}
+
+#[test]
+fn golden_log_replays_through_the_oracle() {
+    // The golden file drives a ReplayOracle exactly as `asm run --audit`
+    // output would.
+    let golden = "\
+# observation log, n = 5
+S 4 | A 4 1
+S 0 | A 0 2 3
+";
+    let log = ObservationLog::from_text(golden).unwrap();
+    let mut replay = ReplayOracle::new(log);
+    assert_eq!(replay.observe(&[4]), vec![4, 1]);
+    assert_eq!(replay.observe(&[0]), vec![0, 2, 3]);
+    assert_eq!(replay.num_active(), 5);
+    assert_eq!(replay.remaining(), 0);
 }
 
 #[test]

@@ -1,0 +1,182 @@
+//! Layout-equivalence property: the arena-backed columnar [`SketchPool`]
+//! must be observationally identical to a naive reference pool
+//! (`Vec<Vec<u32>>` inverted index, the pre-refactor layout) on every query
+//! surface — coverage counts, argmax, union coverage, and greedy
+//! selections — for arbitrary random pools, including across `reset`.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use seedmin::sampling::{
+    greedy_max_coverage, lazy_greedy_max_coverage, CoverageEngine, SketchPool,
+};
+use smin_graph::NodeId;
+
+/// The reference layout: per-node `Vec`s, scans everything, obviously
+/// correct. Tie-breaking matches the engine (higher gain, then smaller id).
+struct NaivePool {
+    n: usize,
+    sets: Vec<Vec<NodeId>>,
+    node_sets: Vec<Vec<u32>>,
+}
+
+impl NaivePool {
+    fn new(n: usize) -> Self {
+        NaivePool {
+            n,
+            sets: Vec::new(),
+            node_sets: vec![Vec::new(); n],
+        }
+    }
+
+    fn add_set(&mut self, nodes: &[NodeId]) {
+        let id = self.sets.len() as u32;
+        for &v in nodes {
+            self.node_sets[v as usize].push(id);
+        }
+        self.sets.push(nodes.to_vec());
+    }
+
+    fn coverage_counts(&self) -> Vec<u32> {
+        (0..self.n)
+            .map(|v| self.node_sets[v].len() as u32)
+            .collect()
+    }
+
+    fn argmax(&self) -> Option<(NodeId, u32)> {
+        let mut best: Option<(NodeId, u32)> = None;
+        for v in 0..self.n as u32 {
+            let c = self.node_sets[v as usize].len() as u32;
+            if c > 0 && best.is_none_or(|(bv, bc)| c > bc || (c == bc && v < bv)) {
+                best = Some((v, c));
+            }
+        }
+        best
+    }
+
+    fn coverage_of_set(&self, nodes: &[NodeId]) -> u32 {
+        let mut seen = vec![false; self.sets.len()];
+        let mut c = 0;
+        for &v in nodes {
+            for &s in &self.node_sets[v as usize] {
+                if !seen[s as usize] {
+                    seen[s as usize] = true;
+                    c += 1;
+                }
+            }
+        }
+        c
+    }
+
+    fn greedy(&self, b: usize) -> (Vec<NodeId>, u32) {
+        let mut marginal = self.coverage_counts();
+        let mut covered_sets = vec![false; self.sets.len()];
+        let mut seeds = Vec::new();
+        let mut covered = 0;
+        for _ in 0..b {
+            let mut best: Option<(NodeId, u32)> = None;
+            for v in 0..self.n as u32 {
+                let c = marginal[v as usize];
+                if c > 0 && best.is_none_or(|(bv, bc)| c > bc || (c == bc && v < bv)) {
+                    best = Some((v, c));
+                }
+            }
+            let Some((v, gain)) = best else { break };
+            seeds.push(v);
+            covered += gain;
+            for &s in &self.node_sets[v as usize] {
+                if !covered_sets[s as usize] {
+                    covered_sets[s as usize] = true;
+                    for &u in &self.sets[s as usize] {
+                        marginal[u as usize] -= 1;
+                    }
+                }
+            }
+        }
+        (seeds, covered)
+    }
+}
+
+/// Strategy: a batch of random duplicate-free sets over `0..n`.
+fn random_sets() -> impl Strategy<Value = (usize, Vec<Vec<NodeId>>)> {
+    (2usize..40, 0u64..10_000).prop_map(|(n, seed)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let batch = rng.random_range(0..60usize);
+        let sets = (0..batch)
+            .map(|_| {
+                let size = rng.random_range(0..12usize);
+                let mut s: Vec<NodeId> = (0..size).map(|_| rng.random_range(0..n as u32)).collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        (n, sets)
+    })
+}
+
+fn build_both(n: usize, sets: &[Vec<NodeId>]) -> (SketchPool, NaivePool) {
+    let mut arena = SketchPool::new(n);
+    let mut naive = NaivePool::new(n);
+    for s in sets {
+        arena.add_set(s);
+        naive.add_set(s);
+    }
+    (arena, naive)
+}
+
+fn assert_equivalent(arena: &SketchPool, naive: &NaivePool) {
+    assert_eq!(arena.len(), naive.sets.len());
+    assert_eq!(arena.coverage_counts(), &naive.coverage_counts()[..]);
+    assert_eq!(arena.argmax(), naive.argmax());
+    // inverted index replays ids in insertion order
+    for v in 0..naive.n as u32 {
+        let got: Vec<u32> = arena.sets_of(v).collect();
+        assert_eq!(got, naive.node_sets[v as usize], "sets_of({v}) diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arena_pool_matches_naive_reference((n, sets) in random_sets()) {
+        let (arena, naive) = build_both(n, &sets);
+        assert_equivalent(&arena, &naive);
+
+        // union-coverage queries on a few deterministic member subsets
+        let all: Vec<NodeId> = (0..n as u32).collect();
+        prop_assert_eq!(arena.coverage_of_set(&all), naive.coverage_of_set(&all));
+        let evens: Vec<NodeId> = (0..n as u32).step_by(2).collect();
+        prop_assert_eq!(arena.coverage_of_set(&evens), naive.coverage_of_set(&evens));
+        prop_assert_eq!(arena.coverage_of_set(&[]), 0);
+
+        // greedy selections: eager, CELF, and persistent-engine paths must
+        // all equal the naive reference, pick for pick
+        let mut engine = CoverageEngine::new();
+        for b in [1usize, 2, 3, 8] {
+            let (seeds, covered) = naive.greedy(b);
+            let eager = greedy_max_coverage(&arena, b);
+            prop_assert_eq!(&eager.seeds, &seeds);
+            prop_assert_eq!(eager.covered, covered);
+            let lazy = lazy_greedy_max_coverage(&arena, b);
+            prop_assert_eq!(&lazy.seeds, &seeds);
+            let reused = engine.select(&arena, b);
+            prop_assert_eq!(&reused.seeds, &seeds);
+        }
+    }
+
+    #[test]
+    fn arena_pool_matches_naive_after_reset((n, sets) in random_sets()) {
+        // Fill, reset, refill with the same sets shifted by one: the arena's
+        // recycled chunks must behave exactly like a fresh naive pool.
+        let (mut arena, _) = build_both(n, &sets);
+        arena.reset();
+        let mut naive = NaivePool::new(n);
+        for s in sets.iter().rev() {
+            arena.add_set(s);
+            naive.add_set(s);
+        }
+        assert_equivalent(&arena, &naive);
+    }
+}

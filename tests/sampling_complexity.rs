@@ -47,7 +47,15 @@ fn lemma38_ept_bound_on_star() {
         let mut out = Vec::new();
         let sets = 2_000;
         for _ in 0..sets {
-            sampler.sample_into(&g, Model::IC, &residual, eta, RootCountDist::Randomized, &mut rng, &mut out);
+            sampler.sample_into(
+                &g,
+                Model::IC,
+                &residual,
+                eta,
+                RootCountDist::Randomized,
+                &mut rng,
+                &mut out,
+            );
         }
         let per_set = sampler.edges_examined as f64 / sets as f64;
         let opt = eta as f64; // E[Γ(center)] = η
@@ -70,7 +78,15 @@ fn lemma38_cost_shrinks_with_opt_on_sparse_graph() {
     let mut rng = SmallRng::seed_from_u64(1);
     let mut out = Vec::new();
     for _ in 0..500 {
-        sampler.sample_into(&g, Model::IC, &residual, 16, RootCountDist::Randomized, &mut rng, &mut out);
+        sampler.sample_into(
+            &g,
+            Model::IC,
+            &residual,
+            16,
+            RootCountDist::Randomized,
+            &mut rng,
+            &mut out,
+        );
     }
     assert_eq!(sampler.edges_examined, 0, "no edges to examine");
 }
@@ -87,9 +103,17 @@ fn lemma39_set_count_inverse_in_opt() {
         let residual = ResidualState::new(n);
         let mut scratch = TrimScratch::new(n);
         let mut rng = SmallRng::seed_from_u64(7);
-        trim(g, Model::IC, &residual, eta, &params, &mut scratch, &mut rng)
-            .expect("valid")
-            .sets_generated
+        trim(
+            g,
+            Model::IC,
+            &residual,
+            eta,
+            &params,
+            &mut scratch,
+            &mut rng,
+        )
+        .expect("valid")
+        .sets_generated
     };
 
     let sets_star = run(&star(n));
@@ -111,7 +135,16 @@ fn lemma39_star_stops_after_first_check() {
     let residual = ResidualState::new(n);
     let mut scratch = TrimScratch::new(n);
     let mut rng = SmallRng::seed_from_u64(3);
-    let out = trim(&g, Model::IC, &residual, 64, &params, &mut scratch, &mut rng).unwrap();
+    let out = trim(
+        &g,
+        Model::IC,
+        &residual,
+        64,
+        &params,
+        &mut scratch,
+        &mut rng,
+    )
+    .unwrap();
     assert_eq!(out.node, 0, "the center dominates");
     assert!(
         out.iterations <= 3,
@@ -133,7 +166,16 @@ fn trim_set_count_scales_with_eta_over_opt() {
         let residual = ResidualState::new(n);
         let mut scratch = TrimScratch::new(n);
         let mut rng = SmallRng::seed_from_u64(11);
-        let out = trim(&g, Model::IC, &residual, eta, &params, &mut scratch, &mut rng).unwrap();
+        let out = trim(
+            &g,
+            Model::IC,
+            &residual,
+            eta,
+            &params,
+            &mut scratch,
+            &mut rng,
+        )
+        .unwrap();
         counts.push(out.sets_generated as f64);
     }
     let max = counts.iter().cloned().fold(f64::MIN, f64::max);

@@ -55,7 +55,10 @@ fn exact_estimator_expectation_model(
     let ks: Vec<(usize, f64)> = match dist {
         RootCountDist::Randomized => {
             if frac > 0.0 {
-                vec![(floor.clamp(1, n), 1.0 - frac), ((floor + 1).clamp(1, n), frac)]
+                vec![
+                    (floor.clamp(1, n), 1.0 - frac),
+                    ((floor + 1).clamp(1, n), frac),
+                ]
             } else {
                 vec![(floor.clamp(1, n), 1.0)]
             }
@@ -68,7 +71,10 @@ fn exact_estimator_expectation_model(
     let mut total = 0.0;
     let mut visit = |phi: &seedmin::diffusion::Realization, p: f64| {
         let x = sim.spread(g, phi, seeds);
-        let hit: f64 = ks.iter().map(|&(k, w)| w * (1.0 - miss_prob(n, x, k))).sum();
+        let hit: f64 = ks
+            .iter()
+            .map(|&(k, w)| w * (1.0 - miss_prob(n, x, k)))
+            .sum();
         total += p * eta as f64 * hit;
     };
     match model {
@@ -222,8 +228,8 @@ fn randomized_rounding_band_holds_under_lt() {
     for seed in 0..3u64 {
         let mut rng = SmallRng::seed_from_u64(seed);
         let pairs = generators::erdos_renyi(6, 9, &mut rng);
-        let g = generators::assemble(6, &pairs, true, WeightModel::WeightedCascade, &mut rng)
-            .unwrap();
+        let g =
+            generators::assemble(6, &pairs, true, WeightModel::WeightedCascade, &mut rng).unwrap();
         assert!(g.is_valid_lt());
         for eta in 1..=6usize {
             for v in 0..6u32 {
@@ -235,7 +241,10 @@ fn randomized_rounding_band_holds_under_lt() {
                     eta,
                     RootCountDist::Randomized,
                 );
-                assert!(est <= exact + 1e-9, "LT seed {seed} v{v} η={eta}: {est} > {exact}");
+                assert!(
+                    est <= exact + 1e-9,
+                    "LT seed {seed} v{v} η={eta}: {est} > {exact}"
+                );
                 assert!(
                     est >= (1.0 - inv_e) * exact - 1e-9,
                     "LT seed {seed} v{v} η={eta}: {est} < (1−1/e)·{exact}"
@@ -249,8 +258,7 @@ fn randomized_rounding_band_holds_under_lt() {
 fn lt_sampler_realizes_the_exact_expectation() {
     let mut rng = SmallRng::seed_from_u64(9);
     let pairs = generators::erdos_renyi(6, 9, &mut rng);
-    let g =
-        generators::assemble(6, &pairs, true, WeightModel::WeightedCascade, &mut rng).unwrap();
+    let g = generators::assemble(6, &pairs, true, WeightModel::WeightedCascade, &mut rng).unwrap();
     let eta = 3;
     for v in 0..6u32 {
         let expected =

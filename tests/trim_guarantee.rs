@@ -43,9 +43,16 @@ fn trim_selection_meets_guarantee_with_margin() {
                 let residual = ResidualState::new(g.n());
                 let mut scratch = TrimScratch::new(g.n());
                 let mut rng = SmallRng::seed_from_u64(run * 31 + gi as u64);
-                let out =
-                    trim(g, Model::IC, &residual, eta, &params, &mut scratch, &mut rng)
-                        .unwrap();
+                let out = trim(
+                    g,
+                    Model::IC,
+                    &residual,
+                    eta,
+                    &params,
+                    &mut scratch,
+                    &mut rng,
+                )
+                .unwrap();
                 total += 1;
                 if exact[out.node as usize] < factor * opt - 1e-9 {
                     violations += 1;
@@ -83,8 +90,17 @@ fn trim_b_selection_meets_batch_guarantee() {
                 let residual = ResidualState::new(g.n());
                 let mut scratch = TrimScratch::new(g.n());
                 let mut rng = SmallRng::seed_from_u64(run * 17 + gi as u64);
-                let out = trim_b(g, Model::IC, &residual, eta, b, &params, &mut scratch, &mut rng)
-                    .unwrap();
+                let out = trim_b(
+                    g,
+                    Model::IC,
+                    &residual,
+                    eta,
+                    b,
+                    &params,
+                    &mut scratch,
+                    &mut rng,
+                )
+                .unwrap();
                 let achieved = exact_expected_truncated(g, Model::IC, &out.seeds, eta);
                 total += 1;
                 if achieved < factor * opt - 1e-9 {
@@ -110,7 +126,16 @@ fn trim_estimate_brackets_exact_value() {
         let residual = ResidualState::new(g.n());
         let mut scratch = TrimScratch::new(g.n());
         let mut rng = SmallRng::seed_from_u64(gi as u64);
-        let out = trim(g, Model::IC, &residual, eta, &params, &mut scratch, &mut rng).unwrap();
+        let out = trim(
+            g,
+            Model::IC,
+            &residual,
+            eta,
+            &params,
+            &mut scratch,
+            &mut rng,
+        )
+        .unwrap();
         let exact = exact_expected_truncated(g, Model::IC, &[out.node], eta);
         assert!(
             out.est_truncated_spread <= exact * 1.15 + 0.1,

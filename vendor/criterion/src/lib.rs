@@ -3,12 +3,28 @@
 //! and prints the mean wall-clock duration — enough for `cargo bench` to be
 //! a meaningful smoke run, and for `cargo build --benches` to compile the
 //! real bench bodies exactly as written.
+//!
+//! Like real Criterion, `cargo bench -- --test` switches to test mode: each
+//! routine executes exactly once and timing output is suppressed, so CI can
+//! assert every bench body actually runs without paying for measurement.
 
 use std::fmt::{self, Display};
 use std::time::{Duration, Instant};
 
-/// How many timed iterations the shim runs per benchmark.
-const RUNS: u32 = 3;
+/// How many timed iterations the shim runs per benchmark (one in `--test`
+/// mode, mirroring real Criterion's smoke-test behavior).
+fn runs() -> u32 {
+    if test_mode() {
+        1
+    } else {
+        3
+    }
+}
+
+/// Whether `--test` was passed to the bench binary (after `cargo bench --`).
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
 
 /// Benchmark identifier: `function_id/parameter`.
 pub struct BenchmarkId {
@@ -17,11 +33,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
     }
 
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -66,10 +86,17 @@ pub struct Criterion {}
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _parent: self, name: name.into() }
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
     }
 
-    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         run_one("", &id.into(), f);
         self
     }
@@ -98,7 +125,11 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         run_one(&self.name, &id.into(), f);
         self
     }
@@ -117,11 +148,23 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one(group: &str, id: &BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
-    let mut bencher = Bencher { elapsed: Duration::ZERO, iters: RUNS };
+    let runs = runs();
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iters: runs,
+    };
     f(&mut bencher);
-    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
-    let per_iter = bencher.elapsed / RUNS.max(1);
-    println!("bench {label:<48} {per_iter:>12.2?}/iter (shim, {RUNS} iters)");
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if test_mode() {
+        println!("test bench {label:<48} ... ok");
+    } else {
+        let per_iter = bencher.elapsed / runs.max(1);
+        println!("bench {label:<48} {per_iter:>12.2?}/iter (shim, {runs} iters)");
+    }
 }
 
 /// Throughput annotation (accepted, ignored).

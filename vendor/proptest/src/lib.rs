@@ -145,8 +145,13 @@ macro_rules! prop_assert_eq {
     ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
         if !(*l == *r) {
-            panic!("property failed: {} == {} ({:?} vs {:?})",
-                   stringify!($left), stringify!($right), l, r);
+            panic!(
+                "property failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            );
         }
     }};
 }
@@ -156,8 +161,12 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
         if *l == *r {
-            panic!("property failed: {} != {} (both {:?})",
-                   stringify!($left), stringify!($right), l);
+            panic!(
+                "property failed: {} != {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            );
         }
     }};
 }
@@ -198,9 +207,8 @@ macro_rules! proptest {
 pub fn run_cases(cases: u32, test_name: &str, f: impl Fn(&mut SmallRng)) {
     use rand::SeedableRng;
     for case in 0..cases {
-        let mut rng = SmallRng::seed_from_u64(
-            BASE_SEED ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        let mut rng =
+            SmallRng::seed_from_u64(BASE_SEED ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
         if let Err(payload) = result {
             eprintln!("proptest shim: {test_name} failed at case {case}/{cases}");

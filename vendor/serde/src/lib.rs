@@ -172,7 +172,11 @@ mod tests {
             label: String,
             tags: Vec<u32>,
         }
-        let p = Point { x: 0.5, label: "origin".into(), tags: vec![1, 2] };
+        let p = Point {
+            x: 0.5,
+            label: "origin".into(),
+            tags: vec![1, 2],
+        };
         assert_eq!(to_json(&p), r#"{"x":0.5,"label":"origin","tags":[1,2]}"#);
     }
 }

@@ -387,8 +387,9 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
             }
             Some(_) => {
                 // Consume one UTF-8 character.
-                let rest = std::str::from_utf8(&b[*pos..])
-                    .map_err(|_| Error { msg: "invalid UTF-8".into() })?;
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| Error {
+                    msg: "invalid UTF-8".into(),
+                })?;
                 let c = rest.chars().next().unwrap();
                 out.push(c);
                 *pos += c.len_utf8();
@@ -399,16 +400,16 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
 
 fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
     let start = *pos;
-    while *pos < b.len()
-        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
         *pos += 1;
     }
     std::str::from_utf8(&b[start..*pos])
         .ok()
         .and_then(|t| t.parse::<f64>().ok())
         .map(Value::Number)
-        .ok_or(Error { msg: format!("invalid number at byte {start}") })
+        .ok_or(Error {
+            msg: format!("invalid number at byte {start}"),
+        })
 }
 
 #[cfg(test)]
