@@ -1,0 +1,342 @@
+//! `svc_load` — keep-alive load generator for the `asm serve` service.
+//!
+//! Two modes:
+//!
+//! * **Smoke** (`--smoke`): one `/healthz`, one graph registration, one
+//!   `/v1/select`; exits non-zero on any non-2xx status or malformed JSON.
+//!   CI runs this against a freshly started `asm serve` to pin the wire
+//!   contract end to end.
+//! * **Load** (default): registers a BA graph once, then `--clients`
+//!   concurrent keep-alive connections fire `--requests` selections total,
+//!   reporting p50/p95/p99 latency (shared nearest-rank helper in
+//!   `smin_bench::stats`), requests/sec, cache behavior, and the cold→warm
+//!   ratio between the first and second request — the registry+recycled-pool
+//!   payoff the service exists for.
+//!
+//! ```text
+//! svc_load --addr 127.0.0.1:7878 --smoke
+//! svc_load --addr 127.0.0.1:7878 --requests 100 --n 10000 --eta 500
+//! svc_load --addr 127.0.0.1:7878 --requests 64 --clients 4 --distinct-seeds
+//! ```
+//!
+//! By default every request carries the same body, so requests after the
+//! first exercise the memoized path (cold compute vs. warm HITs);
+//! `--distinct-seeds` gives each request its own world seed so every
+//! request computes on the warm session shelf instead.
+
+use smin_bench::stats;
+use smin_service::{Client, ClientResponse};
+use std::time::Instant;
+
+struct LoadArgs {
+    addr: String,
+    smoke: bool,
+    requests: usize,
+    clients: usize,
+    n: usize,
+    attach: usize,
+    eta: usize,
+    eps: f64,
+    seed: u64,
+    distinct_seeds: bool,
+    no_cache: bool,
+}
+
+const USAGE: &str = "\
+svc_load — load generator for `asm serve`
+
+USAGE:
+  svc_load --addr HOST:PORT [--smoke]
+           [--requests N] [--clients C] [--n NODES] [--attach K]
+           [--eta N] [--eps F] [--seed N] [--distinct-seeds] [--no-cache]";
+
+fn parse_args() -> Result<LoadArgs, String> {
+    let mut out = LoadArgs {
+        addr: String::new(),
+        smoke: false,
+        requests: 100,
+        clients: 1,
+        n: 10_000,
+        attach: 4,
+        eta: 0, // default derived from n below
+        eps: 0.5,
+        seed: 42,
+        distinct_seeds: false,
+        no_cache: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--smoke" => out.smoke = true,
+            "--distinct-seeds" => out.distinct_seeds = true,
+            "--no-cache" => out.no_cache = true,
+            "--addr" => out.addr = value("--addr")?.clone(),
+            "--requests" => out.requests = parse(value("--requests")?, "--requests")?,
+            "--clients" => out.clients = parse(value("--clients")?, "--clients")?,
+            "--n" => out.n = parse(value("--n")?, "--n")?,
+            "--attach" => out.attach = parse(value("--attach")?, "--attach")?,
+            "--eta" => out.eta = parse(value("--eta")?, "--eta")?,
+            "--eps" => out.eps = parse(value("--eps")?, "--eps")?,
+            "--seed" => out.seed = parse(value("--seed")?, "--seed")?,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    if out.addr.is_empty() {
+        return Err(format!("missing required --addr\n{USAGE}"));
+    }
+    if out.requests == 0 || out.clients == 0 || out.n == 0 {
+        return Err("--requests, --clients, and --n must be at least 1".into());
+    }
+    if out.eta == 0 {
+        out.eta = (out.n / 20).max(1);
+    }
+    Ok(out)
+}
+
+fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    v.parse::<T>()
+        .map_err(|e| format!("bad value for {flag}: {e}"))
+}
+
+/// Asserts a 2xx status and a parseable JSON body; returns the body.
+fn expect_json(
+    what: &str,
+    resp: Result<ClientResponse, String>,
+) -> Result<serde_json::Value, String> {
+    let resp = resp.map_err(|e| format!("{what}: {e}"))?;
+    if !(200..300).contains(&resp.status) {
+        return Err(format!("{what}: HTTP {} — {}", resp.status, resp.text()));
+    }
+    resp.json().map_err(|e| format!("{what}: {e}"))
+}
+
+fn smoke(args: &LoadArgs) -> Result<(), String> {
+    let mut c = Client::connect(&args.addr).map_err(|e| format!("connect {}: {e}", args.addr))?;
+    let health = expect_json("GET /healthz", c.get("/healthz"))?;
+    let health_text = serde_json::to_string(&health).expect("re-serialize");
+    if !health_text.contains("\"status\":\"ok\"") {
+        return Err(format!("healthz not ok: {health_text}"));
+    }
+
+    let body = r#"{"id":"smoke","generate":{"kind":"er","n":200,"m":600,"seed":1}}"#;
+    let resp = c
+        .post("/v1/graphs", body)
+        .map_err(|e| format!("POST /v1/graphs: {e}"))?;
+    // 409 = a previous smoke already registered it on this server; fine.
+    if resp.status != 201 && resp.status != 409 {
+        return Err(format!(
+            "POST /v1/graphs: HTTP {} — {}",
+            resp.status,
+            resp.text()
+        ));
+    }
+
+    let select = expect_json(
+        "POST /v1/select",
+        c.post("/v1/select", r#"{"graph":"smoke","eta":20,"seed":1}"#),
+    )?;
+    let select_text = serde_json::to_string(&select).expect("re-serialize");
+    for needle in ["\"seeds\":[", "\"reached\":true", "\"num_rounds\":"] {
+        if !select_text.contains(needle) {
+            return Err(format!("select response missing {needle}: {select_text}"));
+        }
+    }
+    println!(
+        "SMOKE OK: healthz + register + select against {}",
+        args.addr
+    );
+    Ok(())
+}
+
+struct ClientOutcome {
+    latencies_us: Vec<f64>,
+    cache_hits: usize,
+    failures: Vec<String>,
+}
+
+fn run_client(
+    args: &LoadArgs,
+    graph_id: &str,
+    request_indices: std::ops::Range<usize>,
+) -> ClientOutcome {
+    let mut outcome = ClientOutcome {
+        latencies_us: Vec::with_capacity(request_indices.len()),
+        cache_hits: 0,
+        failures: Vec::new(),
+    };
+    let mut c = match Client::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            outcome.failures.push(format!("connect: {e}"));
+            return outcome;
+        }
+    };
+    for i in request_indices {
+        let seed = if args.distinct_seeds {
+            args.seed + i as u64
+        } else {
+            args.seed
+        };
+        let body = format!(
+            r#"{{"graph":"{graph_id}","eta":{},"eps":{},"seed":{seed},"cache":{}}}"#,
+            args.eta, args.eps, !args.no_cache,
+        );
+        let started = Instant::now();
+        match c.post("/v1/select", &body) {
+            Ok(resp) if resp.status == 200 => {
+                outcome
+                    .latencies_us
+                    .push(started.elapsed().as_secs_f64() * 1e6);
+                if resp.header("X-Cache") == Some("HIT") {
+                    outcome.cache_hits += 1;
+                }
+                if resp.json().is_err() {
+                    outcome
+                        .failures
+                        .push(format!("request {i}: malformed JSON"));
+                }
+            }
+            Ok(resp) => outcome.failures.push(format!(
+                "request {i}: HTTP {} — {}",
+                resp.status,
+                resp.text()
+            )),
+            Err(e) => {
+                outcome.failures.push(format!("request {i}: {e}"));
+                return outcome; // connection state unknown — stop this client
+            }
+        }
+    }
+    outcome
+}
+
+fn load(args: &LoadArgs) -> Result<(), String> {
+    let mut c = Client::connect(&args.addr).map_err(|e| format!("connect {}: {e}", args.addr))?;
+    expect_json("GET /healthz", c.get("/healthz"))?;
+
+    let graph_id = format!("svc-load-ba-{}", args.n);
+    let register = format!(
+        r#"{{"id":"{graph_id}","generate":{{"kind":"ba","n":{},"attach":{},"seed":7}}}}"#,
+        args.n, args.attach,
+    );
+    let resp = c
+        .post("/v1/graphs", &register)
+        .map_err(|e| format!("POST /v1/graphs: {e}"))?;
+    match resp.status {
+        201 => println!(
+            "registered {graph_id}: {}",
+            resp.text().trim_start_matches('{').trim_end_matches('}')
+        ),
+        409 => println!("reusing already-registered {graph_id} (warm server)"),
+        s => return Err(format!("POST /v1/graphs: HTTP {s} — {}", resp.text())),
+    }
+    drop(c);
+
+    println!(
+        "firing {} requests over {} keep-alive client(s): eta={}, eps={}, {}, cache {}",
+        args.requests,
+        args.clients,
+        args.eta,
+        args.eps,
+        if args.distinct_seeds {
+            "distinct seeds"
+        } else {
+            "one repeated body"
+        },
+        if args.no_cache { "bypassed" } else { "enabled" },
+    );
+
+    let started = Instant::now();
+    let per_client = args.requests.div_ceil(args.clients);
+    let graph_id = graph_id.as_str();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|k| {
+                let lo = (k * per_client).min(args.requests);
+                let hi = ((k + 1) * per_client).min(args.requests);
+                scope.spawn(move || run_client(args, graph_id, lo..hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut all_us: Vec<f64> = Vec::new();
+    let mut cache_hits = 0usize;
+    for o in &outcomes {
+        all_us.extend_from_slice(&o.latencies_us);
+        cache_hits += o.cache_hits;
+        failures.extend(o.failures.iter().cloned());
+    }
+    let completed = all_us.len();
+
+    // Cold→warm: the first client's first two requests, in arrival order.
+    let first_two = outcomes
+        .first()
+        .map(|o| o.latencies_us.as_slice())
+        .unwrap_or(&[]);
+    if let [first, second, ..] = first_two {
+        println!(
+            "cold -> warm: request 1 = {:.1} ms, request 2 = {:.1} ms ({:.1}x faster)",
+            first / 1e3,
+            second / 1e3,
+            first / second.max(1.0),
+        );
+    }
+
+    let summary = stats::summarize(&all_us)
+        .ok_or_else(|| format!("no request completed; first failure: {failures:?}"))?;
+    println!(
+        "latency: p50 = {:.1} ms, p95 = {:.1} ms, p99 = {:.1} ms (min {:.1}, max {:.1}, mean {:.1})",
+        summary.p50 / 1e3,
+        summary.p95 / 1e3,
+        summary.p99 / 1e3,
+        summary.min / 1e3,
+        summary.max / 1e3,
+        summary.mean / 1e3,
+    );
+    println!(
+        "throughput: {completed}/{} ok in {wall_s:.2}s = {:.1} req/s ({cache_hits} cache hits)",
+        args.requests,
+        completed as f64 / wall_s.max(1e-9),
+    );
+
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} request(s) failed; first: {}",
+            failures.len(),
+            failures[0]
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let result = parse_args().and_then(|args| {
+        if args.smoke {
+            smoke(&args)
+        } else {
+            load(&args)
+        }
+    });
+    if let Err(e) = result {
+        eprintln!("svc_load error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -202,6 +202,8 @@ mod tests {
             eta_frac: frac,
             seeds_mean: seeds,
             time_mean_s: 0.5,
+            time_p50_s: 0.5,
+            time_p95_s: 0.5,
             spread_mean: 12.0,
             feasible,
             runs,

@@ -74,6 +74,10 @@ pub struct RunResult {
     pub eta_frac: f64,
     pub seeds_mean: f64,
     pub time_mean_s: f64,
+    /// Median and tail selection latency over the realization batch
+    /// (nearest-rank, [`crate::stats`]); 0 when the batch is empty.
+    pub time_p50_s: f64,
+    pub time_p95_s: f64,
     pub spread_mean: f64,
     /// Realizations on which the spread reached η; `< runs` flags the
     /// Table 3 "N/A" condition.
@@ -180,6 +184,8 @@ pub fn run_algo(
 
     let runs = per.len();
     let feasible = per.iter().filter(|r| r.reached).count();
+    let times: Vec<f64> = per.iter().map(|r| r.time_s).collect();
+    let time_summary = crate::stats::summarize(&times);
     RunResult {
         algo: algo.name(),
         dataset: dataset.to_string(),
@@ -187,7 +193,9 @@ pub fn run_algo(
         eta,
         eta_frac,
         seeds_mean: mean(per.iter().map(|r| r.seeds as f64)),
-        time_mean_s: mean(per.iter().map(|r| r.time_s)),
+        time_mean_s: time_summary.map_or(0.0, |s| s.mean),
+        time_p50_s: time_summary.map_or(0.0, |s| s.p50),
+        time_p95_s: time_summary.map_or(0.0, |s| s.p95),
         spread_mean: mean(per.iter().map(|r| r.spread as f64)),
         feasible,
         runs,

@@ -27,9 +27,11 @@ pub mod args;
 pub mod datasets;
 pub mod figures;
 pub mod harness;
+pub mod stats;
 pub mod table;
 
 pub use args::{Args, Tier};
 pub use datasets::{build_dataset, dataset_specs, DatasetSpec, GeneratorKind};
 pub use harness::{run_algo, Algo, RealizationResult, RunResult};
+pub use stats::{percentile, summarize, LatencySummary};
 pub use table::{format_table, write_json};

@@ -1,0 +1,107 @@
+//! Latency/order statistics shared by the harness reporting and the
+//! `svc_load` service load generator.
+//!
+//! The percentile definition is nearest-rank on a sorted sample
+//! (`ceil(q·N)`-th smallest, 1-indexed): every reported value is an actual
+//! observation, which is the convention load-testing tools use for tail
+//! latencies — no interpolation between two samples that never happened.
+
+/// The nearest-rank `q`-quantile (`0 < q ≤ 1`) of an **ascending-sorted**
+/// sample. `None` on an empty sample; a single-sample distribution returns
+/// that sample for every `q`.
+pub fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    debug_assert!(q > 0.0 && q <= 1.0, "quantile {q} outside (0, 1]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile requires an ascending-sorted sample"
+    );
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
+/// Summary statistics of a latency sample: count, extremes, mean, and the
+/// p50/p95/p99 tail percentiles.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    pub count: usize,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+}
+
+/// Summarizes a sample (sorted internally; input order is irrelevant).
+/// `None` on an empty sample.
+pub fn summarize(samples: &[f64]) -> Option<LatencySummary> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    Some(LatencySummary {
+        count: sorted.len(),
+        min: sorted[0],
+        max: *sorted.last().expect("non-empty"),
+        mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        p50: percentile(&sorted, 0.50).expect("non-empty"),
+        p95: percentile(&sorted, 0.95).expect("non-empty"),
+        p99: percentile(&sorted, 0.99).expect("non-empty"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_has_no_percentiles() {
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(summarize(&[]), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = summarize(&[7.5]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.max, 7.5);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.p50, 7.5);
+        assert_eq!(s.p95, 7.5);
+        assert_eq!(s.p99, 7.5);
+    }
+
+    #[test]
+    fn nearest_rank_on_known_sample() {
+        // 1..=100: nearest-rank pX is exactly X.
+        let sorted: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile(&sorted, 0.50), Some(50.0));
+        assert_eq!(percentile(&sorted, 0.95), Some(95.0));
+        assert_eq!(percentile(&sorted, 0.99), Some(99.0));
+        assert_eq!(percentile(&sorted, 1.0), Some(100.0));
+    }
+
+    #[test]
+    fn two_samples_split_at_the_median() {
+        let sorted = [1.0, 2.0];
+        assert_eq!(percentile(&sorted, 0.50), Some(1.0));
+        assert_eq!(percentile(&sorted, 0.51), Some(2.0));
+        assert_eq!(percentile(&sorted, 0.99), Some(2.0));
+    }
+
+    #[test]
+    fn summarize_is_order_independent() {
+        let a = summarize(&[3.0, 1.0, 2.0]).unwrap();
+        let b = summarize(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.p50, 2.0);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 3.0);
+        assert!((a.mean - 2.0).abs() < 1e-12);
+    }
+}

@@ -271,6 +271,49 @@ pub fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `asm serve` — the long-running seed-selection service (see
+/// `smin-service`). Blocks forever; graphs are registered and selections
+/// requested over the HTTP API.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let addr = f.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let workers: usize = match f.get_parsed("threads")? {
+        Some(0) => return Err("--threads must be at least 1".into()),
+        Some(t) => t,
+        None => smin_sampling::resolve_threads(None),
+    };
+    let graphs_dir = match f.get("graphs-dir") {
+        Some(dir) => {
+            let path = std::path::PathBuf::from(dir);
+            if !path.is_dir() {
+                return Err(format!("--graphs-dir {dir}: not a directory"));
+            }
+            Some(path)
+        }
+        None => None,
+    };
+    let cache_capacity: usize = f.get_or("cache", 1024)?;
+
+    let config = smin_service::ServerConfig {
+        addr,
+        workers,
+        graphs_dir: graphs_dir.clone(),
+        cache_capacity,
+    };
+    let server =
+        smin_service::Server::bind(&config).map_err(|e| format!("{}: {e}", config.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "asm serve: listening on http://{addr} ({workers} workers, graphs dir: {}, cache: {cache_capacity})",
+        graphs_dir
+            .as_deref()
+            .map_or("disabled".to_string(), |p| p.display().to_string()),
+    );
+    println!("endpoints: GET /healthz · GET/POST /v1/graphs · DELETE /v1/graphs/{{id}} · POST /v1/select");
+    static NEVER_STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    server.run(&NEVER_STOP).map_err(|e| e.to_string())
+}
+
 /// `asm convert`
 pub fn convert(args: &[String]) -> Result<(), String> {
     let f = Flags::parse(args)?;
@@ -389,6 +432,17 @@ mod tests {
         .map(|s| s.to_string())
         .collect();
         assert!(run(&bad).unwrap_err().contains("--audit"));
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        let to_args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        let err = serve(&to_args(&["--threads", "0"])).unwrap_err();
+        assert!(err.contains("--threads"), "got: {err}");
+        let err = serve(&to_args(&["--graphs-dir", "/no/such/dir/xyz"])).unwrap_err();
+        assert!(err.contains("--graphs-dir"), "got: {err}");
+        let err = serve(&to_args(&["--addr", "definitely:not:an:addr"])).unwrap_err();
+        assert!(err.contains("definitely"), "got: {err}");
     }
 
     #[test]

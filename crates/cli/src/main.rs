@@ -22,6 +22,7 @@ USAGE:
   asm run --graph <GRAPH> --algo <asti|adaptim|ateuc> [--batch B]
           (--eta N | --eta-frac F) [--model ic|lt] [--eps F] [--seed N]
           [--worlds K] [--threads T] [--audit FILE]
+  asm serve [--addr HOST:PORT] [--graphs-dir DIR] [--threads T] [--cache N]
   asm convert <IN> <OUT>            # text <-> binary by extension (.bin)
 
 GRAPH files: '*.bin' = seedmin binary format, anything else = edge list
@@ -33,7 +34,15 @@ bit-identical for every thread count.
 
 --audit FILE records the adaptive select->observe history (one 'S ... | A
 ...' line per round; world K > 1 goes to FILE.wK). The file replays through
-ReplayOracle to reproduce the campaign without the original world.";
+ReplayOracle to reproduce the campaign without the original world.
+
+serve starts the long-running seed-selection service: graphs register once
+(POST /v1/graphs, loaded from --graphs-dir or generated) and stay cached in
+memory with warm sketch-pool sessions; POST /v1/select runs TRIM / TRIM-B /
+ASTI with per-request eta, model, eps, batch, seed. Same request body =>
+byte-identical response, for every thread count. --threads sets the
+connection worker count (default SMIN_THREADS, then all cores); --cache
+bounds the memoized-response count (default 1024, 0 disables).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,6 +54,7 @@ fn main() -> ExitCode {
         "generate" => commands::generate(rest),
         "stats" => commands::stats(rest),
         "run" => commands::run(rest),
+        "serve" => commands::serve(rest),
         "convert" => commands::convert(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");

@@ -21,6 +21,45 @@ use smin_diffusion::{InfluenceOracle, Model, ResidualState};
 use smin_graph::Graph;
 use std::time::Instant;
 
+/// Reusable cross-run state for [`asti_in`]: the residual alive-mask plus
+/// the full [`TrimScratch`] (sketch pool, sketch-generation workers, and
+/// coverage engine).
+///
+/// A long-running service keeps one session per cached graph and recycles it
+/// across requests: the sketch-pool arena, worker buffers, and coverage
+/// engine retain the capacity learned on earlier runs, so a warm request
+/// performs no cold allocations. Reuse never changes results — every run
+/// resets the logical state ([`ResidualState::reset`], `SketchPool::reset`)
+/// before touching it, so `asti_in` on a recycled session is bit-identical
+/// to [`asti`] on a fresh one (pinned by tests).
+pub struct AstiSession {
+    n: usize,
+    scratch: TrimScratch,
+    residual: ResidualState,
+}
+
+impl AstiSession {
+    /// A cold session for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        AstiSession {
+            n,
+            scratch: TrimScratch::new(n),
+            residual: ResidualState::new(n),
+        }
+    }
+
+    /// Node count the session was sized for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Heap bytes currently retained by the session's sketch pool —
+    /// observability for services reporting per-graph warm-state size.
+    pub fn pool_heap_bytes(&self) -> usize {
+        self.scratch.pool().heap_bytes()
+    }
+}
+
 /// Runs ASTI until at least `eta` nodes are active according to `oracle`.
 ///
 /// The oracle may arrive with activations already observed (warm start);
@@ -39,10 +78,35 @@ pub fn asti(
     oracle: &mut impl InfluenceOracle,
     rng: &mut impl Rng,
 ) -> Result<AstiReport, AsmError> {
+    let mut session = AstiSession::new(g.n());
+    asti_in(g, model, eta, params, oracle, rng, &mut session)
+}
+
+/// [`asti`] on a caller-owned [`AstiSession`], recycling the session's
+/// sketch-pool arena and worker scratch instead of reallocating. Selections
+/// are identical whether the session is cold or warm.
+///
+/// Additional error: [`AsmError::SessionMismatch`] when the session was
+/// sized for a different node count than `g`.
+pub fn asti_in(
+    g: &Graph,
+    model: Model,
+    eta: usize,
+    params: &AstiParams,
+    oracle: &mut impl InfluenceOracle,
+    rng: &mut impl Rng,
+    session: &mut AstiSession,
+) -> Result<AstiReport, AsmError> {
     params.validate()?;
     let n = g.n();
     if n == 0 {
         return Err(AsmError::EmptyGraph);
+    }
+    if session.n != n {
+        return Err(AsmError::SessionMismatch {
+            session_n: session.n,
+            graph_n: n,
+        });
     }
     if eta == 0 || eta > n {
         return Err(AsmError::EtaOutOfRange { eta, n });
@@ -56,14 +120,15 @@ pub fn asti(
         }
     }
 
-    let mut residual = ResidualState::new(n);
+    let AstiSession {
+        residual, scratch, ..
+    } = session;
+    residual.reset();
     for (u, &active) in oracle.active_mask().iter().enumerate() {
         if active {
             residual.kill(u as u32);
         }
     }
-
-    let mut scratch = TrimScratch::new(n);
     let mut report = AstiReport {
         seeds: Vec::new(),
         rounds: Vec::new(),
@@ -81,17 +146,17 @@ pub fn asti(
         // Line 3: (approximate) truncated-influence maximization.
         let started = Instant::now();
         let (seeds, sets_generated, est) = if params.batch == 1 {
-            let out = trim(g, model, &residual, eta_i, &params.trim, &mut scratch, rng)?;
+            let out = trim(g, model, residual, eta_i, &params.trim, scratch, rng)?;
             (vec![out.node], out.sets_generated, out.est_truncated_spread)
         } else {
             let out = trim_b(
                 g,
                 model,
-                &residual,
+                residual,
                 eta_i,
                 params.batch,
                 &params.trim,
-                &mut scratch,
+                scratch,
                 rng,
             )?;
             (out.seeds, out.sets_generated, out.est_truncated_spread)
@@ -325,6 +390,82 @@ mod tests {
             Err(AsmError::InvalidLtInstance { node: 2, .. })
         ));
         drop(b);
+    }
+
+    #[test]
+    fn warm_session_reuse_is_bit_identical_to_fresh() {
+        // The service reuse pattern: one session, many runs. Every run on
+        // the warm session must match a cold `asti` on identical inputs,
+        // and the warm pool must retain its arena capacity between runs.
+        let mut rng = SmallRng::seed_from_u64(31);
+        let pairs = smin_graph::generators::erdos_renyi(50, 100, &mut rng);
+        let g = smin_graph::generators::assemble(
+            50,
+            &pairs,
+            true,
+            smin_graph::WeightModel::WeightedCascade,
+            &mut rng,
+        )
+        .unwrap();
+        let params = AstiParams::with_eps(0.5);
+        let mut session = AstiSession::new(50);
+        let mut warm_bytes = 0usize;
+        for seed in 0..4u64 {
+            let mut world_rng = SmallRng::seed_from_u64(1000 + seed);
+            let phi = Realization::sample(&g, Model::IC, &mut world_rng);
+
+            let mut oracle = RealizationOracle::new(&g, phi.clone());
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let fresh = asti(&g, Model::IC, 25, &params, &mut oracle, &mut rng).unwrap();
+
+            let mut oracle = RealizationOracle::new(&g, phi);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let warm = asti_in(
+                &g,
+                Model::IC,
+                25,
+                &params,
+                &mut oracle,
+                &mut rng,
+                &mut session,
+            )
+            .unwrap();
+
+            assert_eq!(warm.seeds, fresh.seeds, "seed {seed}: selections diverged");
+            assert_eq!(warm.total_activated, fresh.total_activated);
+            assert_eq!(warm.total_sets, fresh.total_sets);
+            assert!(
+                session.pool_heap_bytes() >= warm_bytes,
+                "seed {seed}: warm pool shrank"
+            );
+            warm_bytes = session.pool_heap_bytes();
+        }
+        assert!(warm_bytes > 0, "session retained no arena capacity");
+    }
+
+    #[test]
+    fn session_rejects_wrong_graph_size() {
+        let g = chain(10, 1.0);
+        let params = AstiParams::with_eps(0.5);
+        let mut rng = SmallRng::seed_from_u64(32);
+        let phi = Realization::sample(&g, Model::IC, &mut rng);
+        let mut oracle = RealizationOracle::new(&g, phi);
+        let mut session = AstiSession::new(7);
+        assert!(matches!(
+            asti_in(
+                &g,
+                Model::IC,
+                5,
+                &params,
+                &mut oracle,
+                &mut rng,
+                &mut session
+            ),
+            Err(AsmError::SessionMismatch {
+                session_n: 7,
+                graph_n: 10
+            })
+        ));
     }
 
     #[test]

@@ -15,6 +15,8 @@ pub enum AsmError {
     InvalidLtInstance { node: u32, mass: f64 },
     /// The graph has no nodes.
     EmptyGraph,
+    /// A reusable session was sized for a different graph.
+    SessionMismatch { session_n: usize, graph_n: usize },
 }
 
 impl fmt::Display for AsmError {
@@ -32,6 +34,12 @@ impl fmt::Display for AsmError {
                 )
             }
             AsmError::EmptyGraph => write!(f, "graph has no nodes"),
+            AsmError::SessionMismatch { session_n, graph_n } => {
+                write!(
+                    f,
+                    "session sized for {session_n} nodes used with a {graph_n}-node graph"
+                )
+            }
         }
     }
 }

@@ -31,7 +31,7 @@ pub mod trim;
 pub mod trim_b;
 
 pub use adapt_im::{adapt_im, AdaptImParams};
-pub use asti::asti;
+pub use asti::{asti, asti_in, AstiSession};
 pub use ateuc::{ateuc, evaluate_on_realizations, AteucOutput, AteucParams};
 pub use error::AsmError;
 pub use nonadaptive::{nonadaptive_greedy, NonAdaptiveOutput, NonAdaptiveParams};

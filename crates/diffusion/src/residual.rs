@@ -39,6 +39,19 @@ impl ResidualState {
         }
     }
 
+    /// Revives every node, returning to the all-alive state of
+    /// [`ResidualState::new`] without reallocating. Long-running services
+    /// keep one `ResidualState` per cached graph and reset it between
+    /// requests instead of rebuilding the three `n`-sized buffers.
+    pub fn reset(&mut self) {
+        self.alive.fill(true);
+        self.alive_nodes.clear();
+        self.alive_nodes.extend(0..self.pos.len() as NodeId);
+        for (u, p) in self.pos.iter_mut().enumerate() {
+            *p = u as u32;
+        }
+    }
+
     /// Number of alive nodes `n_i`.
     #[inline]
     pub fn n_alive(&self) -> usize {
@@ -240,6 +253,28 @@ mod tests {
         for &u in r.alive_nodes() {
             assert!(r.is_alive(u));
         }
+    }
+
+    #[test]
+    fn reset_revives_everything() {
+        let mut r = ResidualState::new(6);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        r.sample_k_distinct(3, &mut rng, &mut out); // permutes the dense list
+        r.kill_all(&[0, 2, 5]);
+        r.reset();
+        assert_eq!(r.n_alive(), 6);
+        let fresh = ResidualState::new(6);
+        assert_eq!(r.alive_mask(), fresh.alive_mask());
+        assert_eq!(r.alive_nodes(), fresh.alive_nodes());
+        // kills after reset keep the list/pos invariants
+        r.kill_all(&[1, 4]);
+        assert_eq!(r.n_alive(), 4);
+        for &u in r.alive_nodes() {
+            assert!(r.is_alive(u));
+        }
+        r.sample_k_distinct(4, &mut rng, &mut out);
+        assert!(out.iter().all(|&u| r.is_alive(u)));
     }
 
     #[test]

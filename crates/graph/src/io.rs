@@ -184,6 +184,86 @@ mod tests {
     }
 
     #[test]
+    fn parses_crlf_line_endings() {
+        // Graphs arriving over the wire (or exported on Windows) terminate
+        // lines with \r\n; the parser must treat them exactly like \n.
+        let input = "# header\r\n0 1 0.25\r\n\r\n1 2\r\n";
+        let el = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(el.n, 3);
+        assert_eq!(el.edges.len(), 2);
+        assert_eq!(el.edges[0], (0, 1, Some(0.25)));
+        assert_eq!(el.edges[1], (1, 2, None));
+    }
+
+    #[test]
+    fn skips_blank_and_whitespace_only_lines() {
+        let input = "\n0 1\n   \n\t\n1 2\n\n";
+        let el = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(el.edges.len(), 2);
+        assert_eq!(el.n, 3);
+    }
+
+    #[test]
+    fn skips_both_comment_styles_anywhere() {
+        // SNAP uses '#', some Konect exports use '%'; comments may be
+        // interleaved with data, not just a leading header block.
+        let input = "# SNAP header\n% konect header\n0 1\n# mid-file note\n1 2\n% tail\n";
+        let el = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(el.edges.len(), 2);
+    }
+
+    #[test]
+    fn handles_tabs_and_repeated_separators() {
+        let input = "0\t1\t0.5\n1   2\n";
+        let el = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(el.edges[0], (0, 1, Some(0.5)));
+        assert_eq!(el.edges[1], (1, 2, None));
+    }
+
+    #[test]
+    fn missing_target_reports_line_number_with_crlf_and_comments() {
+        // Line numbers must count comment and blank lines, so editors can
+        // jump straight to the offending input line.
+        let input = "# header\r\n0 1\r\n\r\n7\r\n";
+        match read_edge_list(input.as_bytes()) {
+            Err(GraphError::Parse { line, message }) => {
+                assert_eq!(line, 4);
+                assert!(message.contains("target"), "got: {message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_probability_reports_line() {
+        let input = "0 1 0.5\n1 2 banana\n";
+        match read_edge_list(input.as_bytes()) {
+            Err(GraphError::Parse { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("probability"), "got: {message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_node_id_is_rejected() {
+        let input = "-1 2\n";
+        match read_edge_list(input.as_bytes()) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comment_only_input_yields_empty_list() {
+        let input = "# nothing but comments\r\n\r\n% and blanks\n";
+        let el = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(el.n, 0);
+        assert!(el.edges.is_empty());
+    }
+
+    #[test]
     fn parses_probabilities() {
         let input = "0 1 0.25\n1 2 0.5\n";
         let el = read_edge_list(input.as_bytes()).unwrap();

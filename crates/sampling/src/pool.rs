@@ -100,7 +100,17 @@ impl SketchPool {
     }
 
     /// Empties the pool keeping all allocations, in O(touched + sets).
+    ///
+    /// This is the pool-recycling contract the service layer builds on: a
+    /// reset pool must *retain* every buffer's capacity (arena, flattened
+    /// sets, per-node columns), so per-request rebuilds on a warm pool
+    /// perform no reallocation. Debug builds assert that [`heap_bytes`]
+    /// never shrinks across a reset.
+    ///
+    /// [`heap_bytes`]: SketchPool::heap_bytes
     pub fn reset(&mut self) {
+        #[cfg(debug_assertions)]
+        let bytes_before = self.heap_bytes();
         for &v in &self.touched {
             self.coverage[v as usize] = 0;
             self.head[v as usize] = NONE;
@@ -114,6 +124,14 @@ impl SketchPool {
         self.set_off.clear();
         self.set_off.push(0);
         self.empty_sets = 0;
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            self.heap_bytes() >= bytes_before,
+            "SketchPool::reset released capacity ({} -> {} bytes); recycled \
+             pools must keep their arenas",
+            bytes_before,
+            self.heap_bytes()
+        );
     }
 
     /// Number of sets `|R|`.
@@ -441,6 +459,27 @@ mod tests {
         assert_eq!(pool.argmax(), Some((2, 1)));
         assert_eq!(sets_of_vec(&pool, 1), Vec::<u32>::new());
         assert_eq!(sets_of_vec(&pool, 2), vec![0]);
+    }
+
+    #[test]
+    fn reset_retains_exact_capacity() {
+        // The recycling contract: heap_bytes is invariant across reset, so a
+        // warm pool refilled to the same size reallocates nothing.
+        let mut pool = SketchPool::new(64);
+        for i in 0..500u32 {
+            pool.add_set(&[i % 64, (i + 1) % 64, (i + 7) % 64]);
+        }
+        let filled = pool.heap_bytes();
+        pool.reset();
+        assert_eq!(pool.heap_bytes(), filled, "reset must not release buffers");
+        for i in 0..500u32 {
+            pool.add_set(&[i % 64, (i + 1) % 64, (i + 7) % 64]);
+        }
+        assert_eq!(
+            pool.heap_bytes(),
+            filled,
+            "identical refill on a recycled pool must not grow the heap"
+        );
     }
 
     #[test]

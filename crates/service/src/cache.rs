@@ -1,0 +1,106 @@
+//! Bounded memoization of `/v1/select` response bodies.
+//!
+//! The service's determinism contract — same request body, same response
+//! bytes — makes whole-response memoization sound: a repeated request is
+//! answered from memory without re-running the algorithm. Keys embed the
+//! graph's registration token, so deleting and re-registering a graph under
+//! the same id can never serve a stale selection. Eviction is FIFO; the
+//! cache is a latency optimization, not a source of truth.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// FIFO-bounded response cache.
+pub struct SelectCache {
+    capacity: usize,
+    map: HashMap<String, Arc<[u8]>>,
+    order: VecDeque<String>,
+}
+
+impl SelectCache {
+    /// A cache holding at most `capacity` responses (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        SelectCache {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// The cached response body for `key`, if any.
+    pub fn get(&self, key: &str) -> Option<Arc<[u8]>> {
+        self.map.get(key).cloned()
+    }
+
+    /// Stores a response body, evicting the oldest entry at capacity.
+    pub fn insert(&mut self, key: String, body: Arc<[u8]>) {
+        if self.capacity == 0 || self.map.contains_key(&key) {
+            return;
+        }
+        while self.map.len() >= self.capacity {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            self.map.remove(&oldest);
+        }
+        self.order.push_back(key.clone());
+        self.map.insert(key, body);
+    }
+
+    /// Number of cached responses.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<[u8]> {
+        Arc::from(s.as_bytes().to_vec().into_boxed_slice())
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = SelectCache::new(4);
+        assert!(c.get("k").is_none());
+        c.insert("k".into(), body("v"));
+        assert_eq!(c.get("k").unwrap().as_ref(), b"v");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let mut c = SelectCache::new(2);
+        c.insert("a".into(), body("1"));
+        c.insert("b".into(), body("2"));
+        c.insert("c".into(), body("3"));
+        assert!(c.get("a").is_none(), "oldest entry evicted");
+        assert!(c.get("b").is_some());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_first_and_order() {
+        let mut c = SelectCache::new(2);
+        c.insert("a".into(), body("1"));
+        c.insert("a".into(), body("other"));
+        assert_eq!(c.get("a").unwrap().as_ref(), b"1");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = SelectCache::new(0);
+        c.insert("a".into(), body("1"));
+        assert!(c.is_empty());
+        assert!(c.get("a").is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! A minimal keep-alive HTTP/1.1 client for the service's own JSON API.
+//!
+//! Shared by the integration tests and the `svc_load` load generator, so
+//! there is exactly one client-side framing implementation to keep honest
+//! against the server's.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One response as the client sees it.
+#[derive(Debug)]
+pub struct ClientResponse {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value matching `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The body parsed as JSON.
+    pub fn json(&self) -> Result<serde_json::Value, String> {
+        serde_json::from_str(&self.text()).map_err(|e| format!("invalid JSON response: {e}"))
+    }
+}
+
+/// A persistent connection to one server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    host: String,
+}
+
+impl Client {
+    /// Connects; `addr` is `host:port`.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            host: addr.to_string(),
+        })
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> Result<ClientResponse, String> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &str) -> Result<ClientResponse, String> {
+        self.request("POST", path, Some(body.as_bytes()))
+    }
+
+    /// `DELETE path`.
+    pub fn delete(&mut self, path: &str) -> Result<ClientResponse, String> {
+        self.request("DELETE", path, None)
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<ClientResponse, String> {
+        let body = body.unwrap_or(&[]);
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            self.host,
+            body.len(),
+        )
+        .map_err(|e| format!("write failed: {e}"))?;
+        self.writer
+            .write_all(body)
+            .map_err(|e| format!("write failed: {e}"))?;
+        self.writer
+            .flush()
+            .map_err(|e| format!("flush failed: {e}"))?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> Result<String, String> {
+        let mut line = String::new();
+        self.reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if line.is_empty() {
+            return Err("server closed the connection".into());
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    fn read_response(&mut self) -> Result<ClientResponse, String> {
+        let status_line = self.read_line()?;
+        let mut parts = status_line.split_ascii_whitespace();
+        let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+            return Err(format!("malformed status line: {status_line:?}"));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(format!("unexpected protocol: {status_line:?}"));
+        }
+        let status: u16 = code
+            .parse()
+            .map_err(|e| format!("bad status code {code:?}: {e}"))?;
+
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            let Some((k, v)) = line.split_once(':') else {
+                return Err(format!("malformed response header: {line:?}"));
+            };
+            headers.push((k.trim().to_string(), v.trim().to_string()));
+        }
+
+        let content_length: usize = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .ok_or("response missing content-length")?
+            .1
+            .parse()
+            .map_err(|e| format!("bad content-length: {e}"))?;
+        let mut body = vec![0u8; content_length];
+        self.reader
+            .read_exact(&mut body)
+            .map_err(|e| format!("body read failed: {e}"))?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

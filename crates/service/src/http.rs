@@ -1,0 +1,351 @@
+//! Minimal HTTP/1.1 framing over `std::io` streams.
+//!
+//! The service speaks exactly the subset a JSON API needs — request line,
+//! headers, `Content-Length` bodies, keep-alive — hand-rolled because the
+//! offline build has no HTTP crates. This module is the server side
+//! ([`read_request`]/[`Response`]); the matching client-side framing lives
+//! in [`crate::client`], and the integration tests drive one against the
+//! other to keep the two implementations honest.
+
+use std::io::{BufRead, Write};
+
+/// Largest accepted request body (4 MiB): generous for JSON control-plane
+/// bodies, small enough that a misbehaving client cannot balloon a worker.
+pub const MAX_BODY_BYTES: usize = 4 << 20;
+/// Largest accepted request/header line.
+pub const MAX_LINE_BYTES: usize = 8 << 10;
+/// Maximum number of headers per request.
+pub const MAX_HEADERS: usize = 100;
+
+/// A parse-level failure; mapped to a 400 close-connection response.
+#[derive(Debug)]
+pub struct HttpError {
+    pub message: String,
+    /// `true` when the failure is transport-level (timeout, reset, EOF
+    /// mid-request) rather than a protocol violation. Transport failures
+    /// close the connection silently — answering them with a 400 would
+    /// desync a keep-alive peer that sent nothing (e.g. an idle client
+    /// whose read timeout fired server-side).
+    pub is_io: bool,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+fn bad<T>(msg: impl Into<String>) -> Result<T, HttpError> {
+    Err(HttpError {
+        message: msg.into(),
+        is_io: false,
+    })
+}
+
+fn io_err<T>(msg: impl Into<String>) -> Result<T, HttpError> {
+    Err(HttpError {
+        message: msg.into(),
+        is_io: true,
+    })
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub version: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value matching `name` (case-insensitive), trimmed.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this exchange
+    /// (HTTP/1.1 defaults to keep-alive; `Connection: close` opts out).
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.version == "HTTP/1.1",
+        }
+    }
+}
+
+/// Reads one line up to CRLF (or LF), enforcing [`MAX_LINE_BYTES`].
+/// `Ok(None)` signals clean EOF *before any byte* — the peer closed a
+/// keep-alive connection between requests.
+fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    let mut limited = std::io::Read::take(&mut *reader, MAX_LINE_BYTES as u64 + 1);
+    match limited.read_until(b'\n', &mut buf) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return io_err(format!("read failed: {e}")),
+    }
+    if buf.len() > MAX_LINE_BYTES {
+        return bad("header line too long");
+    }
+    while matches!(buf.last(), Some(b'\n' | b'\r')) {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => Ok(Some(s)),
+        Err(_) => bad("header line is not UTF-8"),
+    }
+}
+
+/// Parses one request from the stream. `Ok(None)` means the peer closed the
+/// connection cleanly before sending another request (normal keep-alive
+/// termination).
+pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    if request_line.is_empty() {
+        return bad("empty request line");
+    }
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return bad(format!("malformed request line: {request_line:?}"));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return bad(format!("malformed request line: {request_line:?}"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(reader)? else {
+            return io_err("connection closed mid-headers");
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return bad("too many headers");
+        }
+        let Some((k, v)) = line.split_once(':') else {
+            return bad(format!("malformed header: {line:?}"));
+        };
+        headers.push((k.trim().to_string(), v.trim().to_string()));
+    }
+
+    // The only body framing supported is Content-Length. A chunked body
+    // would otherwise be misread as pipelined requests (response desync),
+    // so reject it explicitly — the 400 closes the connection.
+    if headers
+        .iter()
+        .any(|(k, _)| k.eq_ignore_ascii_case("transfer-encoding"))
+    {
+        return bad("Transfer-Encoding is not supported; send a Content-Length body");
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|e| HttpError {
+            message: format!("bad content-length: {e}"),
+            is_io: false,
+        })?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return bad(format!("body of {content_length} bytes exceeds limit"));
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        std::io::Read::read_exact(reader, &mut body).map_err(|e| HttpError {
+            message: format!("body read failed: {e}"),
+            is_io: true,
+        })?;
+    }
+
+    Ok(Some(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        version: version.to_string(),
+        headers,
+        body,
+    }))
+}
+
+/// Canonical reason phrases for the statuses the service emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// One response ready to serialize: status, extra headers, JSON body.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, value: &serde_json::Value) -> Response {
+        let body = serde_json::to_string(value)
+            .expect("shim serialization is infallible")
+            .into_bytes();
+        Response {
+            status,
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// Attaches one extra header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Writes the response; `keep_alive` picks the `Connection` header.
+    pub fn write_to(&self, writer: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )?;
+        for (k, v) in &self.headers {
+            write!(writer, "{k}: {v}\r\n")?;
+        }
+        writer.write_all(b"\r\n")?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut raw.as_bytes())
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive(), "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parses_post_with_content_length_body() {
+        let req = parse("POST /v1/select HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive());
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive(), "HTTP/1.0 defaults to close");
+        let req = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_request_line_is_error() {
+        assert!(parse("GARBAGE\r\n\r\n").is_err());
+        assert!(parse("GET /\r\n\r\n").is_err(), "missing version");
+        assert!(parse("GET / SPDY/3\r\n\r\n").is_err(), "wrong protocol");
+    }
+
+    #[test]
+    fn truncated_headers_are_an_error() {
+        assert!(parse("GET / HTTP/1.1\r\nHost: x\r\n").is_err());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_up_front() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 5 << 20);
+        assert!(parse(&raw).is_err());
+    }
+
+    #[test]
+    fn bad_content_length_is_an_error() {
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected_as_protocol_error() {
+        let err = parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2f\r\n").unwrap_err();
+        assert!(!err.is_io, "protocol violation, not a transport failure");
+        assert!(err.message.contains("Transfer-Encoding"), "{err}");
+    }
+
+    #[test]
+    fn truncation_is_io_parse_garbage_is_not() {
+        // Mid-headers EOF and short bodies are transport-level (close
+        // silently); garbage framing is a protocol error (answer 400).
+        let io = parse("GET / HTTP/1.1\r\nHost: x\r\n").unwrap_err();
+        assert!(io.is_io);
+        let io = parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").unwrap_err();
+        assert!(io.is_io);
+        let proto = parse("GARBAGE\r\n\r\n").unwrap_err();
+        assert!(!proto.is_io);
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let resp = Response::json(200, &serde_json::json!({"ok": true})).with_header("X-Test", "1");
+        let mut out = Vec::new();
+        resp.write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("X-Test: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn status_texts_cover_service_statuses() {
+        for s in [200, 201, 400, 404, 405, 409, 413, 422, 500] {
+            assert_ne!(status_text(s), "Unknown", "status {s}");
+        }
+    }
+}

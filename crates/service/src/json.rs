@@ -1,0 +1,155 @@
+//! Typed field extraction over `serde_json::Value` request bodies.
+//!
+//! The offline serde shim has no derive-based deserialization, so request
+//! bodies are pulled apart field by field. Every accessor returns a
+//! [`ServiceError`] naming the offending field, which keeps 400 responses
+//! actionable.
+
+use crate::error::ServiceError;
+use serde_json::Value;
+
+/// Parses a request body as a JSON object.
+pub fn parse_object(body: &[u8]) -> Result<Value, ServiceError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ServiceError::bad_request("request body is not UTF-8"))?;
+    if text.trim().is_empty() {
+        return Err(ServiceError::bad_request("request body is empty"));
+    }
+    let value: Value = serde_json::from_str(text)
+        .map_err(|e| ServiceError::bad_request(format!("invalid JSON body: {e}")))?;
+    match value {
+        Value::Object(_) => Ok(value),
+        other => Err(ServiceError::bad_request(format!(
+            "request body must be a JSON object, found {other:?}"
+        ))),
+    }
+}
+
+/// Looks up `key` in an object value.
+pub fn field<'a>(obj: &'a Value, key: &str) -> Option<&'a Value> {
+    match obj {
+        Value::Object(entries) => entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .filter(|v| !matches!(v, Value::Null)),
+        _ => None,
+    }
+}
+
+fn wrong_type(key: &str, expected: &str, found: &Value) -> ServiceError {
+    ServiceError::bad_request(format!("field '{key}' must be {expected}, found {found:?}"))
+}
+
+/// Optional string field.
+pub fn opt_str(obj: &Value, key: &str) -> Result<Option<String>, ServiceError> {
+    match field(obj, key) {
+        None => Ok(None),
+        Some(Value::String(s)) => Ok(Some(s.clone())),
+        Some(other) => Err(wrong_type(key, "a string", other)),
+    }
+}
+
+/// Optional non-negative integer field (rejects fractions and negatives).
+pub fn opt_usize(obj: &Value, key: &str) -> Result<Option<usize>, ServiceError> {
+    match field(obj, key) {
+        None => Ok(None),
+        Some(Value::Number(x)) if x.fract() == 0.0 && *x >= 0.0 => Ok(Some(*x as usize)),
+        Some(other) => Err(wrong_type(key, "a non-negative integer", other)),
+    }
+}
+
+/// Optional u64 field (seeds).
+pub fn opt_u64(obj: &Value, key: &str) -> Result<Option<u64>, ServiceError> {
+    match field(obj, key) {
+        None => Ok(None),
+        Some(Value::Number(x)) if x.fract() == 0.0 && *x >= 0.0 => Ok(Some(*x as u64)),
+        Some(other) => Err(wrong_type(key, "a non-negative integer", other)),
+    }
+}
+
+/// Optional float field.
+pub fn opt_f64(obj: &Value, key: &str) -> Result<Option<f64>, ServiceError> {
+    match field(obj, key) {
+        None => Ok(None),
+        Some(Value::Number(x)) => Ok(Some(*x)),
+        Some(other) => Err(wrong_type(key, "a number", other)),
+    }
+}
+
+/// Optional bool field.
+pub fn opt_bool(obj: &Value, key: &str) -> Result<Option<bool>, ServiceError> {
+    match field(obj, key) {
+        None => Ok(None),
+        Some(Value::Bool(b)) => Ok(Some(*b)),
+        Some(other) => Err(wrong_type(key, "a boolean", other)),
+    }
+}
+
+/// Required string field.
+pub fn req_str(obj: &Value, key: &str) -> Result<String, ServiceError> {
+    opt_str(obj, key)?
+        .ok_or_else(|| ServiceError::bad_request(format!("missing required field '{key}'")))
+}
+
+/// Required integer field.
+pub fn req_usize(obj: &Value, key: &str) -> Result<usize, ServiceError> {
+    opt_usize(obj, key)?
+        .ok_or_else(|| ServiceError::bad_request(format!("missing required field '{key}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(s: &str) -> Value {
+        parse_object(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn parse_object_accepts_only_objects() {
+        assert!(parse_object(b"{\"a\": 1}").is_ok());
+        assert!(parse_object(b"[1,2]")
+            .unwrap_err()
+            .message
+            .contains("object"));
+        assert!(parse_object(b"").unwrap_err().message.contains("empty"));
+        assert!(parse_object(b"{oops").unwrap_err().message.contains("JSON"));
+        assert!(parse_object(&[0xFF, 0xFE])
+            .unwrap_err()
+            .message
+            .contains("UTF-8"));
+    }
+
+    #[test]
+    fn typed_accessors_extract_and_reject() {
+        let v = obj(r#"{"s": "x", "n": 3, "f": 0.5, "b": true, "neg": -1, "frac": 1.5}"#);
+        assert_eq!(opt_str(&v, "s").unwrap(), Some("x".to_string()));
+        assert_eq!(opt_usize(&v, "n").unwrap(), Some(3));
+        assert_eq!(opt_u64(&v, "n").unwrap(), Some(3));
+        assert_eq!(opt_f64(&v, "f").unwrap(), Some(0.5));
+        assert_eq!(opt_bool(&v, "b").unwrap(), Some(true));
+        assert_eq!(opt_str(&v, "missing").unwrap(), None);
+        assert!(opt_usize(&v, "neg").is_err());
+        assert!(opt_usize(&v, "frac").is_err());
+        assert!(opt_str(&v, "n").is_err());
+        assert!(opt_bool(&v, "s").is_err());
+    }
+
+    #[test]
+    fn null_fields_read_as_absent() {
+        let v = obj(r#"{"x": null}"#);
+        assert_eq!(opt_str(&v, "x").unwrap(), None);
+        assert_eq!(opt_usize(&v, "x").unwrap(), None);
+    }
+
+    #[test]
+    fn required_accessors_name_the_field() {
+        let v = obj(r#"{"a": 1}"#);
+        assert!(req_str(&v, "graph")
+            .unwrap_err()
+            .message
+            .contains("'graph'"));
+        assert_eq!(req_usize(&v, "a").unwrap(), 1);
+    }
+}

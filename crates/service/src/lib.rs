@@ -1,0 +1,44 @@
+//! # smin-service
+//!
+//! The long-running seed-selection server: the ROADMAP's "service front
+//! end". A resident process amortizes the two costs every CLI run pays from
+//! scratch — graph construction and sketch-pool warm-up — across an entire
+//! stream of requests:
+//!
+//! * **Cached-graph registry** ([`registry`]): graphs are loaded or
+//!   generated once (`POST /v1/graphs`) and served until deleted; every
+//!   `/v1/select` runs against the in-memory CSR, never a file.
+//! * **Warm sketch-pool sessions**: each graph shelves reusable
+//!   [`AstiSession`](smin_core::AstiSession)s, so the columnar sketch-pool
+//!   arena, worker scratch, and coverage engine keep their learned capacity
+//!   between requests (`SketchPool::reset` recycling, PR 4's layout).
+//! * **Deterministic responses** ([`routes`]): the same request body returns
+//!   byte-identical JSON across restarts and thread counts, which makes the
+//!   bounded response cache ([`cache`]) sound — a repeated request is a
+//!   memory read.
+//! * **Std-only HTTP/1.1** ([`http`], [`server`]): hand-rolled framing over
+//!   `std::net`, a fixed worker pool fed by an acceptor over `mpsc`
+//!   channels (the `smin-sampling::parallel` threading conventions applied
+//!   to connections), keep-alive by default.
+//!
+//! Per-request `threads` (or the `SMIN_THREADS` env var, resolved at
+//! request time) picks the sketch-generation worker count; it never changes
+//! results. Structured JSON errors carry stable `code`s mapped from
+//! `smin-core::error` ([`error`]).
+//!
+//! The CLI front end is `asm serve`; `svc_load` (in `smin-bench`) is the
+//! matching load generator.
+
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod json;
+pub mod registry;
+pub mod routes;
+pub mod server;
+
+pub use client::{Client, ClientResponse};
+pub use error::ServiceError;
+pub use routes::ServiceState;
+pub use server::{Server, ServerConfig, ServerHandle};

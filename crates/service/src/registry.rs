@@ -1,0 +1,288 @@
+//! The cached-graph registry: graphs loaded once, served many times.
+//!
+//! Each registered graph owns a pool of warm [`AstiSession`]s — the sketch
+//! pool arena, worker scratch, coverage engine, and residual mask survive
+//! between requests, so a select on a warm graph performs no cold
+//! allocations. Sessions are checked out per request and checked back in
+//! afterwards; concurrent requests against the same graph each get their
+//! own session (a new one is built when the shelf is empty).
+
+use crate::error::ServiceError;
+use smin_core::AstiSession;
+use smin_graph::Graph;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Warm sessions retained per graph; beyond this, returned sessions are
+/// dropped. Matches the realistic concurrency of one worker pool — keeping
+/// more would only hold dead arena memory.
+const MAX_WARM_SESSIONS: usize = 16;
+
+/// One registered graph plus its reusable per-request state.
+pub struct GraphEntry {
+    /// Registry key.
+    pub id: String,
+    /// Registration epoch: distinguishes a re-registered graph under a
+    /// reused id, so response-cache keys can never serve stale results.
+    pub token: u64,
+    /// Where the graph came from (`generated:ba`, `file:web.txt`, …).
+    pub source: String,
+    pub graph: Arc<Graph>,
+    /// Shelf of warm sessions (LIFO: the most recently used — hottest —
+    /// session is handed out first).
+    sessions: Mutex<Vec<AstiSession>>,
+    /// Total `/v1/select` requests served against this graph.
+    pub selects: AtomicU64,
+}
+
+impl GraphEntry {
+    /// Checks out a session: warm if available, cold otherwise.
+    pub fn checkout_session(&self) -> AstiSession {
+        let warm = self.lock_sessions().pop();
+        warm.unwrap_or_else(|| AstiSession::new(self.graph.n()))
+    }
+
+    /// Returns a session to the shelf for the next request.
+    pub fn checkin_session(&self, session: AstiSession) {
+        let mut shelf = self.lock_sessions();
+        if shelf.len() < MAX_WARM_SESSIONS {
+            shelf.push(session);
+        }
+    }
+
+    /// Number of warm sessions currently shelved.
+    pub fn warm_sessions(&self) -> usize {
+        self.lock_sessions().len()
+    }
+
+    /// Heap bytes retained by shelved sketch pools (observability).
+    pub fn warm_pool_bytes(&self) -> usize {
+        self.lock_sessions()
+            .iter()
+            .map(|s| s.pool_heap_bytes())
+            .sum()
+    }
+
+    fn lock_sessions(&self) -> std::sync::MutexGuard<'_, Vec<AstiSession>> {
+        self.sessions.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl std::fmt::Debug for GraphEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphEntry")
+            .field("id", &self.id)
+            .field("token", &self.token)
+            .field("source", &self.source)
+            .field("n", &self.graph.n())
+            .field("m", &self.graph.m())
+            .finish_non_exhaustive()
+    }
+}
+
+/// All registered graphs, keyed by id.
+#[derive(Default)]
+pub struct Registry {
+    entries: HashMap<String, Arc<GraphEntry>>,
+    next_token: u64,
+    next_auto_id: u64,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers a graph under `id` (auto-assigned `g0`, `g1`, … when
+    /// `None`). Rejects an id that is already taken — delete first to
+    /// replace, so a client can never silently swap another client's graph.
+    pub fn register(
+        &mut self,
+        id: Option<String>,
+        graph: Graph,
+        source: String,
+    ) -> Result<Arc<GraphEntry>, ServiceError> {
+        let id = match id {
+            Some(id) => {
+                if id.is_empty()
+                    || !id
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c))
+                {
+                    return Err(ServiceError::bad_request(format!(
+                        "graph id {id:?} must be non-empty [A-Za-z0-9._-]"
+                    )));
+                }
+                if self.entries.contains_key(&id) {
+                    return Err(ServiceError::new(
+                        409,
+                        "graph_exists",
+                        format!("graph '{id}' is already registered; DELETE it first"),
+                    ));
+                }
+                id
+            }
+            None => loop {
+                let candidate = format!("g{}", self.next_auto_id);
+                self.next_auto_id += 1;
+                if !self.entries.contains_key(&candidate) {
+                    break candidate;
+                }
+            },
+        };
+        self.next_token += 1;
+        let entry = Arc::new(GraphEntry {
+            id: id.clone(),
+            token: self.next_token,
+            source,
+            graph: Arc::new(graph),
+            sessions: Mutex::new(Vec::new()),
+            selects: AtomicU64::new(0),
+        });
+        self.entries.insert(id, Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Looks up a graph by id.
+    pub fn get(&self, id: &str) -> Option<Arc<GraphEntry>> {
+        self.entries.get(id).cloned()
+    }
+
+    /// Removes a graph; `true` if it existed. In-flight requests holding the
+    /// `Arc<GraphEntry>` finish normally; the memory is freed when the last
+    /// reference drops.
+    pub fn remove(&mut self, id: &str) -> bool {
+        self.entries.remove(id).is_some()
+    }
+
+    /// All entries, sorted by id for stable listings.
+    pub fn list(&self) -> Vec<Arc<GraphEntry>> {
+        let mut all: Vec<_> = self.entries.values().cloned().collect();
+        all.sort_by(|a, b| a.id.cmp(&b.id));
+        all
+    }
+
+    /// Number of registered graphs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Records a select against an entry (relaxed: it is a metric, not a lock).
+pub fn record_select(entry: &GraphEntry) {
+    entry.selects.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smin_graph::GraphBuilder;
+
+    fn tiny(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..(n - 1) as u32 {
+            b.add_edge_p(u, u + 1, 0.5).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn register_get_remove_roundtrip() {
+        let mut r = Registry::new();
+        let e = r
+            .register(Some("web".into()), tiny(5), "test".into())
+            .unwrap();
+        assert_eq!(e.id, "web");
+        assert_eq!(e.graph.n(), 5);
+        assert!(r.get("web").is_some());
+        assert_eq!(r.len(), 1);
+        assert!(r.remove("web"));
+        assert!(!r.remove("web"));
+        assert!(r.get("web").is_none());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn duplicate_id_is_conflict() {
+        let mut r = Registry::new();
+        r.register(Some("g".into()), tiny(3), "test".into())
+            .unwrap();
+        let err = r
+            .register(Some("g".into()), tiny(4), "test".into())
+            .unwrap_err();
+        assert_eq!(err.status, 409);
+        assert_eq!(err.code, "graph_exists");
+        // the original survives
+        assert_eq!(r.get("g").unwrap().graph.n(), 3);
+    }
+
+    #[test]
+    fn bad_ids_are_rejected() {
+        let mut r = Registry::new();
+        assert!(r
+            .register(Some(String::new()), tiny(3), "t".into())
+            .is_err());
+        assert!(r.register(Some("a/b".into()), tiny(3), "t".into()).is_err());
+        assert!(r
+            .register(Some("ok-id_1.bin".into()), tiny(3), "t".into())
+            .is_ok());
+    }
+
+    #[test]
+    fn auto_ids_skip_taken_names() {
+        let mut r = Registry::new();
+        r.register(Some("g0".into()), tiny(3), "t".into()).unwrap();
+        let e = r.register(None, tiny(3), "t".into()).unwrap();
+        assert_eq!(e.id, "g1");
+        let e = r.register(None, tiny(3), "t".into()).unwrap();
+        assert_eq!(e.id, "g2");
+    }
+
+    #[test]
+    fn tokens_are_unique_across_reregistration() {
+        let mut r = Registry::new();
+        let a = r.register(Some("g".into()), tiny(3), "t".into()).unwrap();
+        r.remove("g");
+        let b = r.register(Some("g".into()), tiny(3), "t".into()).unwrap();
+        assert_ne!(a.token, b.token, "reused id must get a fresh token");
+    }
+
+    #[test]
+    fn session_shelf_recycles() {
+        let mut r = Registry::new();
+        let e = r.register(Some("g".into()), tiny(6), "t".into()).unwrap();
+        assert_eq!(e.warm_sessions(), 0);
+        let s = e.checkout_session();
+        assert_eq!(s.n(), 6);
+        e.checkin_session(s);
+        assert_eq!(e.warm_sessions(), 1);
+        let _s = e.checkout_session();
+        assert_eq!(e.warm_sessions(), 0, "checkout drains the shelf");
+    }
+
+    #[test]
+    fn shelf_is_bounded() {
+        let mut r = Registry::new();
+        let e = r.register(Some("g".into()), tiny(3), "t".into()).unwrap();
+        for _ in 0..MAX_WARM_SESSIONS + 5 {
+            e.checkin_session(AstiSession::new(3));
+        }
+        assert_eq!(e.warm_sessions(), MAX_WARM_SESSIONS);
+    }
+
+    #[test]
+    fn listing_is_sorted() {
+        let mut r = Registry::new();
+        for id in ["zeta", "alpha", "mid"] {
+            r.register(Some(id.into()), tiny(3), "t".into()).unwrap();
+        }
+        let ids: Vec<_> = r.list().iter().map(|e| e.id.clone()).collect();
+        assert_eq!(ids, vec!["alpha", "mid", "zeta"]);
+    }
+}

@@ -1,0 +1,829 @@
+//! Request routing and endpoint implementations.
+//!
+//! | method | path | body | effect |
+//! |---|---|---|---|
+//! | GET | `/healthz` | — | liveness + registry stats |
+//! | GET | `/v1/graphs` | — | list registered graphs |
+//! | POST | `/v1/graphs` | `{"id"?, "path"?, "generate"?, …}` | load/generate + register |
+//! | DELETE | `/v1/graphs/{id}` | — | unregister |
+//! | POST | `/v1/select` | `{"graph", "eta"\|"eta_frac", …}` | run TRIM / TRIM-B / ASTI |
+//!
+//! `/v1/select` responses contain only deterministic fields: the same body
+//! (same `seed`) produces byte-identical JSON across restarts and thread
+//! counts. Wall-clock timing travels in the `X-Select-Micros` response
+//! header, and cache status in `X-Cache`, so neither perturbs the contract.
+
+use crate::cache::SelectCache;
+use crate::error::ServiceError;
+use crate::http::{Request, Response};
+use crate::json;
+use crate::registry::{record_select, GraphEntry, Registry};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde_json::{json, Value};
+use smin_core::{asti_in, AstiParams};
+use smin_diffusion::{Model, Realization, RealizationOracle};
+use smin_graph::generators::{
+    assemble, barabasi_albert, chung_lu_directed, erdos_renyi, watts_strogatz,
+};
+use smin_graph::{io, Graph, WeightModel};
+use std::path::{Component, Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Shared state behind every worker thread.
+pub struct ServiceState {
+    registry: Mutex<Registry>,
+    cache: Mutex<SelectCache>,
+    /// Directory `POST /v1/graphs {"path": …}` loads are confined to;
+    /// `None` disables file loading entirely.
+    graphs_dir: Option<PathBuf>,
+    started: Instant,
+}
+
+impl ServiceState {
+    /// Fresh state; `cache_capacity` bounds the memoized-response count.
+    pub fn new(graphs_dir: Option<PathBuf>, cache_capacity: usize) -> Self {
+        ServiceState {
+            registry: Mutex::new(Registry::new()),
+            cache: Mutex::new(SelectCache::new(cache_capacity)),
+            graphs_dir,
+            started: Instant::now(),
+        }
+    }
+
+    fn registry(&self) -> MutexGuard<'_, Registry> {
+        self.registry.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn cache(&self) -> MutexGuard<'_, SelectCache> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Routes one request. Never panics on malformed input — every failure
+/// becomes a structured JSON error.
+pub fn handle(state: &ServiceState, req: &Request) -> Response {
+    let result = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Ok(healthz(state)),
+        ("GET", "/v1/graphs") => Ok(list_graphs(state)),
+        ("POST", "/v1/graphs") => register_graph(state, &req.body),
+        ("POST", "/v1/select") => select(state, &req.body),
+        (method, path)
+            if path
+                .strip_prefix("/v1/graphs/")
+                .is_some_and(|id| !id.is_empty()) =>
+        {
+            let id = path.strip_prefix("/v1/graphs/").expect("guard matched");
+            match method {
+                "DELETE" => delete_graph(state, id),
+                _ => Err(method_not_allowed(method, path)),
+            }
+        }
+        (method, path @ ("/healthz" | "/v1/graphs" | "/v1/select")) => {
+            Err(method_not_allowed(method, path))
+        }
+        (_, path) => Err(ServiceError::not_found(
+            "unknown_route",
+            format!("no route for {path}"),
+        )),
+    };
+    result.unwrap_or_else(|e| e.to_response())
+}
+
+fn method_not_allowed(method: &str, path: &str) -> ServiceError {
+    ServiceError::new(
+        405,
+        "method_not_allowed",
+        format!("{method} is not supported on {path}"),
+    )
+}
+
+/// `GET /healthz`
+fn healthz(state: &ServiceState) -> Response {
+    let registry = state.registry();
+    Response::json(
+        200,
+        &json!({
+            "status": "ok",
+            "graphs": registry.len(),
+            "cached_responses": state.cache().len(),
+            "uptime_s": state.started.elapsed().as_secs(),
+        }),
+    )
+}
+
+/// `GET /v1/graphs`
+fn list_graphs(state: &ServiceState) -> Response {
+    let entries = state.registry().list();
+    let graphs: Vec<Value> = entries.iter().map(|e| entry_value(e)).collect();
+    Response::json(200, &json!({ "graphs": graphs }))
+}
+
+fn entry_value(e: &GraphEntry) -> Value {
+    json!({
+        "id": e.id.clone(),
+        "n": e.graph.n(),
+        "m": e.graph.m(),
+        "source": e.source.clone(),
+        "selects": e.selects.load(std::sync::atomic::Ordering::Relaxed),
+        "warm_sessions": e.warm_sessions(),
+        "warm_pool_bytes": e.warm_pool_bytes(),
+    })
+}
+
+fn parse_weights(spec: &str) -> Result<WeightModel, ServiceError> {
+    match spec {
+        "wc" => Ok(WeightModel::WeightedCascade),
+        "tri" => Ok(WeightModel::Trivalency),
+        other => match other.strip_prefix("uniform:") {
+            Some(p) => p
+                .parse::<f64>()
+                .map(WeightModel::Uniform)
+                .map_err(|e| ServiceError::bad_request(format!("bad uniform probability: {e}"))),
+            None => Err(ServiceError::bad_request(format!(
+                "unknown weight model '{other}' (wc | uniform:P | tri)"
+            ))),
+        },
+    }
+}
+
+/// Generates a graph from a `"generate"` spec object.
+fn generate_graph(spec: &Value) -> Result<(Graph, String), ServiceError> {
+    let kind = json::req_str(spec, "kind")?;
+    let n = json::req_usize(spec, "n")?;
+    if n == 0 {
+        return Err(ServiceError::bad_request("generator needs n >= 1"));
+    }
+    let seed = json::opt_u64(spec, "seed")?.unwrap_or(42);
+    let weights = parse_weights(&json::opt_str(spec, "weights")?.unwrap_or_else(|| "wc".into()))?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (pairs, directed) = match kind.as_str() {
+        "chung-lu" => {
+            let m = json::opt_usize(spec, "m")?.unwrap_or(n * 5);
+            let gamma = json::opt_f64(spec, "gamma")?.unwrap_or(2.1);
+            (chung_lu_directed(n, m, gamma, &mut rng), true)
+        }
+        "er" => {
+            let m = json::opt_usize(spec, "m")?.unwrap_or(n * 5);
+            (erdos_renyi(n, m, &mut rng), true)
+        }
+        "ba" => {
+            let attach = json::opt_usize(spec, "attach")?.unwrap_or(4);
+            (barabasi_albert(n, attach, &mut rng), false)
+        }
+        "ws" => {
+            let k = json::opt_usize(spec, "k")?.unwrap_or(6);
+            let beta = json::opt_f64(spec, "beta")?.unwrap_or(0.1);
+            (watts_strogatz(n, k, beta, &mut rng), false)
+        }
+        other => {
+            return Err(ServiceError::bad_request(format!(
+                "unknown generator '{other}' (chung-lu | ba | er | ws)"
+            )))
+        }
+    };
+    let g = assemble(n, &pairs, directed, weights, &mut rng)?;
+    Ok((g, format!("generated:{kind}")))
+}
+
+/// Resolves a `"path"` load under the configured graphs dir, rejecting
+/// absolute paths and any traversal outside it.
+fn load_graph_file(
+    graphs_dir: &Option<PathBuf>,
+    rel: &str,
+) -> Result<(Graph, String), ServiceError> {
+    let Some(dir) = graphs_dir else {
+        return Err(ServiceError::bad_request(
+            "file loading is disabled: the server was started without --graphs-dir",
+        ));
+    };
+    let rel_path = Path::new(rel);
+    let traversal = rel_path
+        .components()
+        .any(|c| !matches!(c, Component::Normal(_) | Component::CurDir));
+    if rel.is_empty() || traversal {
+        return Err(ServiceError::bad_request(format!(
+            "path {rel:?} must be relative to the graphs dir, without '..'"
+        )));
+    }
+    let full = dir.join(rel_path);
+    let g = if rel.ends_with(".bin") {
+        io::read_binary_path(&full)?
+    } else {
+        io::read_edge_list_path(&full)?.into_graph(true, 1.0)?
+    };
+    Ok((g, format!("file:{rel}")))
+}
+
+/// `POST /v1/graphs`
+fn register_graph(state: &ServiceState, body: &[u8]) -> Result<Response, ServiceError> {
+    let v = json::parse_object(body)?;
+    let id = json::opt_str(&v, "id")?;
+    let path = json::opt_str(&v, "path")?;
+    let generate = json::field(&v, "generate");
+    let (graph, source) = match (path, generate) {
+        (Some(p), None) => load_graph_file(&state.graphs_dir, &p)?,
+        (None, Some(spec)) => generate_graph(spec)?,
+        _ => {
+            return Err(ServiceError::bad_request(
+                "body must contain exactly one of 'path' or 'generate'",
+            ))
+        }
+    };
+    if graph.n() == 0 {
+        return Err(ServiceError::new(
+            422,
+            "empty_graph",
+            "the loaded graph has no nodes",
+        ));
+    }
+    let entry = state.registry().register(id, graph, source)?;
+    Ok(Response::json(201, &entry_value(&entry)))
+}
+
+/// `DELETE /v1/graphs/{id}`
+fn delete_graph(state: &ServiceState, id: &str) -> Result<Response, ServiceError> {
+    if state.registry().remove(id) {
+        Ok(Response::json(200, &json!({ "deleted": id })))
+    } else {
+        Err(ServiceError::not_found(
+            "unknown_graph",
+            format!("graph '{id}' is not registered"),
+        ))
+    }
+}
+
+/// Parsed `/v1/select` request.
+struct SelectRequest {
+    entry: Arc<GraphEntry>,
+    algo: String,
+    model: Model,
+    eta: usize,
+    eps: f64,
+    batch: usize,
+    seed: u64,
+    theta_cap: Option<usize>,
+    threads: Option<usize>,
+    use_cache: bool,
+}
+
+impl SelectRequest {
+    /// Cache key over every response-determining field. `threads` is
+    /// deliberately absent: selections are bit-identical for every thread
+    /// count (PR 2's contract), so all thread settings share one entry. The
+    /// entry token pins the exact registered graph.
+    fn cache_key(&self) -> String {
+        format!(
+            "{}#{}|{}|{:?}|eta={}|eps={}|batch={}|seed={}|cap={:?}",
+            self.entry.id,
+            self.entry.token,
+            self.algo,
+            self.model,
+            self.eta,
+            self.eps,
+            self.batch,
+            self.seed,
+            self.theta_cap,
+        )
+    }
+}
+
+fn parse_select(state: &ServiceState, body: &[u8]) -> Result<SelectRequest, ServiceError> {
+    let v = json::parse_object(body)?;
+    let graph_id = json::req_str(&v, "graph")?;
+    let entry = state.registry().get(&graph_id).ok_or_else(|| {
+        ServiceError::not_found(
+            "unknown_graph",
+            format!("graph '{graph_id}' is not registered"),
+        )
+    })?;
+
+    let model: Model = json::opt_str(&v, "model")?
+        .unwrap_or_else(|| "ic".into())
+        .parse()
+        .map_err(|e: String| ServiceError::bad_request(e))?;
+    let eps = json::opt_f64(&v, "eps")?.unwrap_or(0.5);
+    let seed = json::opt_u64(&v, "seed")?.unwrap_or(42);
+    let mut batch = json::opt_usize(&v, "batch")?.unwrap_or(1);
+    // Optional per-round mRR-set budget: interactive clients trade the
+    // formal guarantee for a hard latency bound. Response-determining, so
+    // it is part of the cache key.
+    let theta_cap = json::opt_usize(&v, "theta_cap")?;
+    if theta_cap == Some(0) {
+        return Err(ServiceError::bad_request("'theta_cap' must be at least 1"));
+    }
+    let threads = json::opt_usize(&v, "threads")?;
+    if threads == Some(0) {
+        return Err(ServiceError::bad_request("'threads' must be at least 1"));
+    }
+    let use_cache = json::opt_bool(&v, "cache")?.unwrap_or(true);
+
+    // "asti" is the adaptive driver; "trim" / "trim-b" name the per-round
+    // selector explicitly and constrain the batch size accordingly.
+    let algo = json::opt_str(&v, "algo")?.unwrap_or_else(|| "asti".into());
+    match algo.as_str() {
+        "asti" => {}
+        "trim" => {
+            if json::opt_usize(&v, "batch")?.is_some_and(|b| b != 1) {
+                return Err(ServiceError::bad_request(
+                    "algo 'trim' selects one seed per round; use 'trim-b' with batch >= 2",
+                ));
+            }
+            batch = 1;
+        }
+        "trim-b" => {
+            if batch < 2 {
+                return Err(ServiceError::bad_request(
+                    "algo 'trim-b' needs batch >= 2 (got or defaulted to 1)",
+                ));
+            }
+        }
+        other => {
+            return Err(ServiceError::bad_request(format!(
+                "unknown algo '{other}' (asti | trim | trim-b)"
+            )))
+        }
+    }
+
+    let n = entry.graph.n();
+    let eta = match (json::opt_usize(&v, "eta")?, json::opt_f64(&v, "eta_frac")?) {
+        (Some(e), None) => e,
+        (None, Some(frac)) => {
+            // Validate before the max(1.0) clamp: a negative or NaN
+            // fraction would otherwise silently become eta = 1 and 200.
+            if !(frac > 0.0 && frac <= 1.0) {
+                return Err(ServiceError::bad_request(format!(
+                    "'eta_frac' must lie in (0, 1], got {frac}"
+                )));
+            }
+            ((n as f64) * frac).round().max(1.0) as usize
+        }
+        (Some(_), Some(_)) => {
+            return Err(ServiceError::bad_request(
+                "give 'eta' or 'eta_frac', not both",
+            ))
+        }
+        (None, None) => {
+            return Err(ServiceError::bad_request(
+                "missing required field 'eta' (or 'eta_frac')",
+            ))
+        }
+    };
+
+    Ok(SelectRequest {
+        entry,
+        algo,
+        model,
+        eta,
+        eps,
+        batch,
+        seed,
+        theta_cap,
+        threads,
+        use_cache,
+    })
+}
+
+/// `POST /v1/select`
+///
+/// Runs the adaptive campaign against a world sampled from `seed` (the same
+/// convention as `asm run`: world RNG stream `seed + 1000`, algorithm RNG
+/// stream `seed`), on a session recycled from the graph's warm shelf.
+fn select(state: &ServiceState, body: &[u8]) -> Result<Response, ServiceError> {
+    let req = parse_select(state, body)?;
+    let started = Instant::now();
+    let key = req.cache_key();
+
+    if req.use_cache {
+        if let Some(cached) = state.cache().get(&key) {
+            record_select(&req.entry);
+            return Ok(Response {
+                status: 200,
+                headers: Vec::new(),
+                body: cached.to_vec(),
+            }
+            .with_header("X-Cache", "HIT")
+            .with_header("X-Select-Micros", started.elapsed().as_micros().to_string()));
+        }
+    }
+
+    let g = &req.entry.graph;
+    let mut world_rng = SmallRng::seed_from_u64(req.seed.wrapping_add(1000));
+    let phi = Realization::sample(g, req.model, &mut world_rng);
+    let mut oracle = RealizationOracle::new(g, phi);
+    let mut rng = SmallRng::seed_from_u64(req.seed);
+    let mut params = AstiParams::batched(req.eps, req.batch);
+    // None defers to SMIN_THREADS (then available parallelism) at run time,
+    // so the env override is honored per request, not at server start.
+    params.trim.threads = req.threads;
+    params.trim.theta_cap = req.theta_cap;
+
+    let mut session = req.entry.checkout_session();
+    let report = asti_in(
+        g,
+        req.model,
+        req.eta,
+        &params,
+        &mut oracle,
+        &mut rng,
+        &mut session,
+    );
+    req.entry.checkin_session(session);
+    let report = report?;
+    record_select(&req.entry);
+
+    let rounds: Vec<Value> = report
+        .rounds
+        .iter()
+        .map(|r| {
+            json!({
+                "seeds": r.seeds.clone(),
+                "newly_activated": r.newly_activated,
+                "eta_i": r.eta_i,
+                "n_alive": r.n_alive,
+                "sets_generated": r.sets_generated,
+            })
+        })
+        .collect();
+    let body_value = json!({
+        "graph": req.entry.id.clone(),
+        "algo": req.algo.clone(),
+        "model": req.model.to_string(),
+        "eta": req.eta,
+        "eps": req.eps,
+        "batch": req.batch,
+        "seed": req.seed,
+        "theta_cap": req.theta_cap,
+        "seeds": report.seeds.clone(),
+        "num_seeds": report.num_seeds(),
+        "num_rounds": report.num_rounds(),
+        "total_activated": report.total_activated,
+        "reached": report.reached,
+        "total_sets": report.total_sets,
+        "rounds": rounds,
+    });
+    let body = serde_json::to_string(&body_value)
+        .expect("shim serialization is infallible")
+        .into_bytes();
+
+    if req.use_cache {
+        state
+            .cache()
+            .insert(key, Arc::from(body.clone().into_boxed_slice()));
+    }
+
+    Ok(Response {
+        status: 200,
+        headers: Vec::new(),
+        body,
+    }
+    .with_header("X-Cache", if req.use_cache { "MISS" } else { "BYPASS" })
+    .with_header("X-Select-Micros", started.elapsed().as_micros().to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ServiceState {
+        ServiceState::new(None, 64)
+    }
+
+    fn post(state: &ServiceState, path: &str, body: &str) -> Response {
+        let req = Request {
+            method: "POST".into(),
+            path: path.into(),
+            version: "HTTP/1.1".into(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        };
+        handle(state, &req)
+    }
+
+    fn get(state: &ServiceState, path: &str) -> Response {
+        let req = Request {
+            method: "GET".into(),
+            path: path.into(),
+            version: "HTTP/1.1".into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        handle(state, &req)
+    }
+
+    fn body_str(resp: &Response) -> String {
+        String::from_utf8(resp.body.clone()).unwrap()
+    }
+
+    fn register_er(state: &ServiceState, id: &str, n: usize) {
+        let resp = post(
+            state,
+            "/v1/graphs",
+            &format!(
+                r#"{{"id":"{id}","generate":{{"kind":"er","n":{n},"m":{},"seed":1}}}}"#,
+                n * 3
+            ),
+        );
+        assert_eq!(resp.status, 201, "{}", body_str(&resp));
+    }
+
+    #[test]
+    fn healthz_reports_ok() {
+        let s = state();
+        let resp = get(&s, "/healthz");
+        assert_eq!(resp.status, 200);
+        assert!(body_str(&resp).contains("\"status\":\"ok\""));
+    }
+
+    #[test]
+    fn unknown_route_is_structured_404() {
+        let s = state();
+        let resp = get(&s, "/nope");
+        assert_eq!(resp.status, 404);
+        assert!(body_str(&resp).contains("unknown_route"));
+    }
+
+    #[test]
+    fn wrong_method_is_405() {
+        let s = state();
+        let resp = post(&s, "/healthz", "{}");
+        assert_eq!(resp.status, 405);
+        assert!(body_str(&resp).contains("method_not_allowed"));
+    }
+
+    #[test]
+    fn register_list_delete_roundtrip() {
+        let s = state();
+        register_er(&s, "web", 50);
+        let listing = body_str(&get(&s, "/v1/graphs"));
+        assert!(listing.contains("\"id\":\"web\""), "{listing}");
+        assert!(listing.contains("\"source\":\"generated:er\""));
+
+        let req = Request {
+            method: "DELETE".into(),
+            path: "/v1/graphs/web".into(),
+            version: "HTTP/1.1".into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        let resp = handle(&s, &req);
+        assert_eq!(resp.status, 200);
+        let resp = handle(&s, &req);
+        assert_eq!(resp.status, 404, "second delete is a 404");
+    }
+
+    #[test]
+    fn register_requires_exactly_one_source() {
+        let s = state();
+        let resp = post(&s, "/v1/graphs", r#"{"id":"x"}"#);
+        assert_eq!(resp.status, 400);
+        let resp = post(
+            &s,
+            "/v1/graphs",
+            r#"{"path":"a.txt","generate":{"kind":"er","n":5}}"#,
+        );
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn path_loads_need_graphs_dir_and_reject_traversal() {
+        let s = state(); // graphs_dir: None
+        let resp = post(&s, "/v1/graphs", r#"{"path":"a.txt"}"#);
+        assert_eq!(resp.status, 400);
+        assert!(body_str(&resp).contains("--graphs-dir"));
+
+        let dir = std::env::temp_dir().join("smin_service_graphs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("tiny.txt"), "0 1 0.5\r\n# c\r\n1 2\r\n").unwrap();
+        let s = ServiceState::new(Some(dir), 8);
+        for bad in ["../etc/passwd", "/etc/passwd", ""] {
+            let resp = post(&s, "/v1/graphs", &format!(r#"{{"path":"{bad}"}}"#));
+            assert_eq!(resp.status, 400, "path {bad:?} must be rejected");
+        }
+        let resp = post(&s, "/v1/graphs", r#"{"id":"t","path":"tiny.txt"}"#);
+        assert_eq!(resp.status, 201, "{}", body_str(&resp));
+        assert!(body_str(&resp).contains("\"n\":3"));
+        let resp = post(&s, "/v1/graphs", r#"{"path":"missing.txt"}"#);
+        assert_eq!(resp.status, 400, "{}", body_str(&resp));
+    }
+
+    #[test]
+    fn select_runs_and_is_deterministic_across_thread_counts() {
+        let s = state();
+        register_er(&s, "g", 120);
+        let base = post(
+            &s,
+            "/v1/select",
+            r#"{"graph":"g","eta":30,"seed":7,"threads":1,"cache":false}"#,
+        );
+        assert_eq!(base.status, 200, "{}", body_str(&base));
+        let text = body_str(&base);
+        assert!(text.contains("\"reached\":true"), "{text}");
+        assert!(text.contains("\"seeds\":["));
+        for threads in [2, 4] {
+            let resp = post(
+                &s,
+                "/v1/select",
+                &format!(r#"{{"graph":"g","eta":30,"seed":7,"threads":{threads},"cache":false}}"#),
+            );
+            assert_eq!(resp.body, base.body, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn select_cache_hits_on_repeat() {
+        let s = state();
+        register_er(&s, "g", 80);
+        let first = post(&s, "/v1/select", r#"{"graph":"g","eta":20,"seed":3}"#);
+        assert_eq!(first.status, 200);
+        let cache_of = |r: &Response| {
+            r.headers
+                .iter()
+                .find(|(k, _)| k == "X-Cache")
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(cache_of(&first).as_deref(), Some("MISS"));
+        let second = post(&s, "/v1/select", r#"{"graph":"g","eta":20,"seed":3}"#);
+        assert_eq!(cache_of(&second).as_deref(), Some("HIT"));
+        assert_eq!(second.body, first.body);
+        let bypass = post(
+            &s,
+            "/v1/select",
+            r#"{"graph":"g","eta":20,"seed":3,"cache":false}"#,
+        );
+        assert_eq!(cache_of(&bypass).as_deref(), Some("BYPASS"));
+        assert_eq!(bypass.body, first.body, "bypass recomputes the same bytes");
+    }
+
+    #[test]
+    fn cache_key_excludes_threads_but_pins_token() {
+        let s = state();
+        register_er(&s, "g", 60);
+        let a = post(&s, "/v1/select", r#"{"graph":"g","eta":15,"seed":1}"#);
+        let with_threads = post(
+            &s,
+            "/v1/select",
+            r#"{"graph":"g","eta":15,"seed":1,"threads":2}"#,
+        );
+        let cache_of = |r: &Response| {
+            r.headers
+                .iter()
+                .find(|(k, _)| k == "X-Cache")
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(cache_of(&with_threads).as_deref(), Some("HIT"));
+        assert_eq!(with_threads.body, a.body);
+
+        // Re-register under the same id: the fresh token must miss.
+        let req = Request {
+            method: "DELETE".into(),
+            path: "/v1/graphs/g".into(),
+            version: "HTTP/1.1".into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        handle(&s, &req);
+        register_er(&s, "g", 60);
+        let after = post(&s, "/v1/select", r#"{"graph":"g","eta":15,"seed":1}"#);
+        assert_eq!(cache_of(&after).as_deref(), Some("MISS"));
+    }
+
+    #[test]
+    fn select_reuses_warm_sessions() {
+        let s = state();
+        register_er(&s, "g", 60);
+        post(
+            &s,
+            "/v1/select",
+            r#"{"graph":"g","eta":15,"seed":1,"cache":false}"#,
+        );
+        let entry = s.registry().get("g").unwrap();
+        assert_eq!(entry.warm_sessions(), 1, "session returned to the shelf");
+        assert!(entry.warm_pool_bytes() > 0, "warm pool retains its arena");
+        post(
+            &s,
+            "/v1/select",
+            r#"{"graph":"g","eta":15,"seed":2,"cache":false}"#,
+        );
+        assert_eq!(entry.warm_sessions(), 1, "same session recycled");
+        assert_eq!(entry.selects.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn select_validates_inputs() {
+        let s = state();
+        register_er(&s, "g", 40);
+        let cases = [
+            (r#"{"eta":5}"#, 400, "graph"),
+            (r#"{"graph":"nope","eta":5}"#, 404, "unknown_graph"),
+            (r#"{"graph":"g"}"#, 400, "eta"),
+            (r#"{"graph":"g","eta":5,"eta_frac":0.5}"#, 400, "not both"),
+            (r#"{"graph":"g","eta_frac":-0.3}"#, 400, "eta_frac"),
+            (r#"{"graph":"g","eta_frac":1.5}"#, 400, "eta_frac"),
+            (r#"{"graph":"g","eta_frac":0}"#, 400, "eta_frac"),
+            (r#"{"graph":"g","eta":5,"threads":0}"#, 400, "threads"),
+            (r#"{"graph":"g","eta":5,"theta_cap":0}"#, 400, "theta_cap"),
+            (
+                r#"{"graph":"g","eta":5,"algo":"magic"}"#,
+                400,
+                "unknown algo",
+            ),
+            (
+                r#"{"graph":"g","eta":5,"algo":"trim-b"}"#,
+                400,
+                "batch >= 2",
+            ),
+            (
+                r#"{"graph":"g","eta":5,"algo":"trim","batch":4}"#,
+                400,
+                "trim",
+            ),
+            (r#"{"graph":"g","eta":5,"model":"percolation"}"#, 400, ""),
+            (r#"{"graph":"g","eta":5,"eps":2.0}"#, 422, "invalid_eps"),
+            (r#"{"graph":"g","eta":4000}"#, 422, "eta_out_of_range"),
+            (r#"{"graph":"g","eta":0}"#, 422, "eta_out_of_range"),
+        ];
+        for (body, status, needle) in cases {
+            let resp = post(&s, "/v1/select", body);
+            assert_eq!(resp.status, status, "{body} -> {}", body_str(&resp));
+            assert!(
+                body_str(&resp).contains(needle),
+                "{body}: expected {needle:?} in {}",
+                body_str(&resp)
+            );
+        }
+    }
+
+    #[test]
+    fn theta_cap_bounds_sets_and_splits_the_cache() {
+        let s = state();
+        register_er(&s, "g", 80);
+        let capped = post(
+            &s,
+            "/v1/select",
+            r#"{"graph":"g","eta":20,"seed":3,"theta_cap":64}"#,
+        );
+        assert_eq!(capped.status, 200, "{}", body_str(&capped));
+        assert!(body_str(&capped).contains("\"theta_cap\":64"));
+        let uncapped = post(&s, "/v1/select", r#"{"graph":"g","eta":20,"seed":3}"#);
+        let cache_of = |r: &Response| {
+            r.headers
+                .iter()
+                .find(|(k, _)| k == "X-Cache")
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(
+            cache_of(&uncapped).as_deref(),
+            Some("MISS"),
+            "different theta_cap must not share a cache entry"
+        );
+        assert!(body_str(&uncapped).contains("\"theta_cap\":null"));
+    }
+
+    #[test]
+    fn trim_b_and_eta_frac_work() {
+        let s = state();
+        register_er(&s, "g", 100);
+        let resp = post(
+            &s,
+            "/v1/select",
+            r#"{"graph":"g","eta_frac":0.2,"algo":"trim-b","batch":4,"seed":2}"#,
+        );
+        assert_eq!(resp.status, 200, "{}", body_str(&resp));
+        let text = body_str(&resp);
+        assert!(text.contains("\"eta\":20"), "{text}");
+        assert!(text.contains("\"algo\":\"trim-b\""));
+        assert!(text.contains("\"batch\":4"));
+    }
+
+    #[test]
+    fn generator_validation() {
+        let s = state();
+        let resp = post(&s, "/v1/graphs", r#"{"generate":{"kind":"magic","n":10}}"#);
+        assert_eq!(resp.status, 400);
+        let resp = post(&s, "/v1/graphs", r#"{"generate":{"kind":"er","n":0}}"#);
+        assert_eq!(resp.status, 400);
+        let resp = post(&s, "/v1/graphs", r#"{"generate":{"kind":"er"}}"#);
+        assert_eq!(resp.status, 400);
+        let resp = post(
+            &s,
+            "/v1/graphs",
+            r#"{"generate":{"kind":"ba","n":30,"attach":2,"weights":"uniform:0.2"}}"#,
+        );
+        assert_eq!(resp.status, 201, "{}", body_str(&resp));
+    }
+
+    #[test]
+    fn duplicate_registration_is_conflict() {
+        let s = state();
+        register_er(&s, "g", 20);
+        let resp = post(
+            &s,
+            "/v1/graphs",
+            r#"{"id":"g","generate":{"kind":"er","n":20}}"#,
+        );
+        assert_eq!(resp.status, 409);
+        assert!(body_str(&resp).contains("graph_exists"));
+    }
+}

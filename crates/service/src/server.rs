@@ -1,0 +1,187 @@
+//! The listener/worker loop.
+//!
+//! One acceptor (the caller's thread) feeds accepted connections to a fixed
+//! pool of worker threads over an `mpsc` channel — the same
+//! std-thread-plus-channels discipline as `smin-sampling::parallel`, applied
+//! to connections instead of sketch chunks. Each worker owns a connection
+//! for its whole keep-alive lifetime; per-request parallelism happens
+//! *inside* the algorithm (sketch-generation workers), so one heavy request
+//! never blocks the accept loop.
+
+use crate::http::{read_request, Response};
+use crate::routes::{handle, ServiceState};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Per-connection read timeout: a stalled peer releases its worker instead
+/// of pinning it forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Directory `{"path": …}` graph loads are confined to.
+    pub graphs_dir: Option<std::path::PathBuf>,
+    /// Memoized `/v1/select` responses retained.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            workers: 4,
+            graphs_dir: None,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// A bound (not yet serving) server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state.
+    pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServiceState::new(
+                config.graphs_dir.clone(),
+                config.cache_capacity,
+            )),
+            workers: config.workers.max(1),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `stop` turns true (checked after each accept). Blocks
+    /// the calling thread; the CLI calls this directly, tests use
+    /// [`Server::spawn`].
+    pub fn run(self, stop: &AtomicBool) -> std::io::Result<()> {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&self.state);
+                scope.spawn(move || loop {
+                    // Holding the lock only while dequeuing: the handler
+                    // runs unlocked so workers drain connections in parallel.
+                    let conn = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                    match conn {
+                        Ok(stream) => handle_connection(stream, &state),
+                        Err(_) => break, // acceptor gone: shutting down
+                    }
+                });
+            }
+            for conn in self.listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            drop(tx);
+        });
+        Ok(())
+    }
+
+    /// Runs the server on a background thread, returning a handle that stops
+    /// it. Used by tests and anything embedding the service.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_inner = Arc::clone(&stop);
+        let join = std::thread::spawn(move || {
+            let _ = self.run(&stop_inner);
+        });
+        Ok(ServerHandle {
+            addr,
+            stop,
+            join: Some(join),
+        })
+    }
+}
+
+/// Handle to a background server; shuts it down on [`ServerHandle::shutdown`]
+/// or drop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The serving address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the server thread. In-flight connections
+    /// finish their current request; idle keep-alive connections are
+    /// released by their read timeout or peer close.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept so the loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one connection for its keep-alive lifetime.
+fn handle_connection(stream: TcpStream, state: &ServiceState) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(None) => break, // peer closed cleanly
+            Ok(Some(req)) => {
+                let keep_alive = req.keep_alive();
+                let resp = handle(state, &req);
+                if resp.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    break;
+                }
+            }
+            Err(e) if e.is_io => break, // timeout / reset / truncation: close silently
+            Err(e) => {
+                // Protocol violation: the stream position is unknowable, so
+                // answer once and close.
+                let resp = crate::error::ServiceError::bad_request(format!("malformed HTTP: {e}"))
+                    .to_response();
+                let _ = Response::write_to(&resp, &mut writer, false);
+                break;
+            }
+        }
+    }
+}
