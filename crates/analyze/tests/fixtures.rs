@@ -1,0 +1,86 @@
+//! End-to-end rule checks against the committed fixture files: every rule
+//! fires on its seeded violation file and stays quiet on the clean module.
+
+use smin_analyze::rules::{lint_source, RuleSet};
+
+fn rules_fired(name: &str, src: &str) -> Vec<&'static str> {
+    let mut rules: Vec<_> = lint_source(name, src, &RuleSet::all())
+        .into_iter()
+        .map(|f| f.rule)
+        .collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn hash_iteration_fixture_fires() {
+    let src = include_str!("fixtures/violations/hash_iteration.rs");
+    assert_eq!(
+        rules_fired("hash_iteration.rs", src),
+        vec!["no-hash-iteration"]
+    );
+}
+
+#[test]
+fn wall_clock_fixture_fires() {
+    let src = include_str!("fixtures/violations/wall_clock.rs");
+    let fired = rules_fired("wall_clock.rs", src);
+    assert_eq!(fired, vec!["no-wall-clock"]);
+    // Both ::now sites, not the bare type mentions.
+    let findings = lint_source("wall_clock.rs", src, &RuleSet::all());
+    assert_eq!(findings.len(), 2, "{findings:?}");
+}
+
+#[test]
+fn ambient_rng_fixture_fires() {
+    let src = include_str!("fixtures/violations/ambient_rng.rs");
+    assert_eq!(rules_fired("ambient_rng.rs", src), vec!["no-ambient-rng"]);
+}
+
+#[test]
+fn panic_fixture_fires_on_all_four_shapes() {
+    let src = include_str!("fixtures/violations/panic_request_path.rs");
+    assert_eq!(
+        rules_fired("panic_request_path.rs", src),
+        vec!["no-panic-in-request-path"]
+    );
+    let findings = lint_source("panic_request_path.rs", src, &RuleSet::all());
+    // unwrap, expect, panic!, and the bare index.
+    assert_eq!(findings.len(), 4, "{findings:?}");
+}
+
+#[test]
+fn safety_comment_fixture_fires() {
+    let src = include_str!("fixtures/violations/safety_comment.rs");
+    assert_eq!(
+        rules_fired("safety_comment.rs", src),
+        vec!["safety-comment"]
+    );
+}
+
+#[test]
+fn checked_cast_fixture_fires_per_width() {
+    let src = include_str!("fixtures/violations/checked_cast.rs");
+    assert_eq!(rules_fired("checked_cast.rs", src), vec!["checked-cast"]);
+    let findings = lint_source("checked_cast.rs", src, &RuleSet::all());
+    assert_eq!(
+        findings.len(),
+        3,
+        "u32, u16, and u8 each flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn clean_fixture_is_quiet_under_every_rule() {
+    let src = include_str!("fixtures/clean/clean_module.rs");
+    let findings = lint_source("clean_module.rs", src, &RuleSet::all());
+    assert!(findings.is_empty(), "clean fixture flagged: {findings:?}");
+}
+
+#[test]
+fn deterministic_ruleset_skips_request_path_rule() {
+    let src = include_str!("fixtures/violations/panic_request_path.rs");
+    let findings = lint_source("panic_request_path.rs", src, &RuleSet::deterministic());
+    assert!(findings.is_empty(), "{findings:?}");
+}

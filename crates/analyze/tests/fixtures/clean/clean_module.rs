@@ -1,0 +1,36 @@
+//! Fixture: a module every rule should stay quiet on — ordered
+//! collections, checked conversions, justified unsafe, annotated
+//! suppressions, and comment-lookalike literals that must not confuse
+//! the lexer.
+
+use std::collections::BTreeMap;
+
+pub fn widen(x: u8) -> u64 {
+    // Widening casts are always fine.
+    x as u64
+}
+
+pub fn narrow(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+pub fn lookup(map: &BTreeMap<String, u32>, k: &str) -> Option<u32> {
+    map.get(k).copied()
+}
+
+pub fn justified(xs: &[u8]) -> u8 {
+    // SAFETY: callers guarantee xs is non-empty (checked in lookup()).
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub fn suppressed(n: usize) -> u32 {
+    // smin-lint: allow(checked-cast) -- n is a loop counter bounded by 10 above
+    n as u32
+}
+
+pub fn tricky_literals() -> (&'static str, char, &'static str) {
+    let not_a_comment = "// HashMap::new() inside a string";
+    let quote = '"';
+    let raw = r##"raw with " quote and /* fake comment */ and // slashes"##;
+    (not_a_comment, quote, raw)
+}

@@ -1,0 +1,8 @@
+//! Fixture: `no-ambient-rng` must fire on entropy-seeded generators.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    let other = rand::rngs::SmallRng::from_entropy();
+    let _ = other;
+    rng.next_u64()
+}

@@ -1,0 +1,5 @@
+//! Fixture: `checked-cast` must fire on bare narrowing `as` casts.
+
+pub fn ids(n: usize) -> (u32, u16, u8) {
+    (n as u32, n as u16, n as u8)
+}

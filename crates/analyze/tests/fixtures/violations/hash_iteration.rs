@@ -1,0 +1,13 @@
+//! Fixture: `no-hash-iteration` must fire on both the import and the use.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    for &x in xs {
+        seen.insert(x);
+    }
+    let map: HashMap<u32, u32> = HashMap::new();
+    seen.len() + map.len()
+}

@@ -1,0 +1,12 @@
+//! Fixture: `no-panic-in-request-path` must fire on unwrap/expect,
+//! panicking macros, and bare slice indexing.
+
+pub fn handle(body: &[u8], table: &[u32]) -> u32 {
+    let parsed: Result<u32, ()> = Ok(7);
+    let a = parsed.unwrap();
+    let b = std::str::from_utf8(body).expect("utf8");
+    if b.is_empty() {
+        panic!("empty body");
+    }
+    table[a as usize]
+}

@@ -1,0 +1,5 @@
+//! Fixture: the safety-comment rule must fire on unjustified `unsafe`.
+
+pub fn peek(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}

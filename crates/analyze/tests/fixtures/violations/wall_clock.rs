@@ -1,0 +1,14 @@
+//! Fixture: `no-wall-clock` must fire on `Instant::now` and
+//! `SystemTime::now`, but not on a mere mention of the types.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    let a = Instant::now();
+    let b = SystemTime::now();
+    (a, b)
+}
+
+pub fn quiet(t: Instant) -> Instant {
+    t
+}

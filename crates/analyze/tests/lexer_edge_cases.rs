@@ -1,0 +1,136 @@
+//! Lexer edge cases: the constructs that break naive regex-based linters
+//! and that `asm lint` must get right — raw strings, nested comments,
+//! comment-lookalike literals, shebangs, and cfg gating.
+
+use smin_analyze::lexer::{lex, TokKind};
+use smin_analyze::rules::{lint_source, RuleSet};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .toks
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn raw_string_with_hashes_swallows_quotes_and_slashes() {
+    let src = r####"let s = r##"contains " quote, // slashes, /* and this */"##;"####;
+    let lexed = lex(src);
+    assert!(lexed.comments.is_empty(), "raw string is not a comment");
+    let strs: Vec<_> = lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .collect();
+    assert_eq!(strs.len(), 1);
+    assert!(strs[0].text.contains("// slashes"));
+}
+
+#[test]
+fn raw_string_hash_count_must_match() {
+    // `"#` inside the literal does not close an `r##"…"##` string.
+    let src = r#####"let s = r###"inner "# and "## stay inside"###; let t = 1;"#####;
+    let lexed = lex(src);
+    assert_eq!(
+        lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+        1
+    );
+    assert!(
+        idents(src).contains(&"t".to_string()),
+        "lexer resynced after the raw string"
+    );
+}
+
+#[test]
+fn nested_block_comments_close_at_depth_zero() {
+    let src = "/* outer /* inner */ still outer */ let live = 1;";
+    let lexed = lex(src);
+    assert_eq!(lexed.comments.len(), 1);
+    assert!(lexed.comments[0].text.contains("still outer"));
+    assert_eq!(idents(src), vec!["let", "live"]);
+}
+
+#[test]
+fn char_literal_with_quote_and_string_with_slashes() {
+    let src = r#"let c = '"'; let s = "// HashMap::new() is just text"; let b = b"\"";"#;
+    let lexed = lex(src);
+    assert!(lexed.comments.is_empty());
+    assert_eq!(
+        lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count(),
+        1
+    );
+    // The HashMap mention sits inside a string: no rule may fire.
+    let findings = lint_source("fixture.rs", src, &RuleSet::all());
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn escaped_char_literals_and_lifetimes_disambiguate() {
+    let src = "fn f<'a>(x: &'a str) -> char { let q = '\\''; let bs = '\\\\'; q }";
+    let lexed = lex(src);
+    let lifetimes: Vec<_> = lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, vec!["'a", "'a"]);
+    assert_eq!(
+        lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count(),
+        2
+    );
+}
+
+#[test]
+fn shebang_is_skipped_but_inner_attr_is_not() {
+    let src = "#!/usr/bin/env run-cargo-script\nfn main() { let x = 1; }";
+    assert_eq!(idents(src), vec!["fn", "main", "let", "x"]);
+
+    // `#![…]` is an inner attribute, not a shebang: its tokens survive.
+    let attr = "#![forbid(unsafe_code)]\nfn main() {}";
+    assert!(idents(attr).contains(&"forbid".to_string()));
+}
+
+#[test]
+fn doc_comments_are_captured_with_lines() {
+    let src = "//! module docs\n\n/// item docs\nfn f() {}\n";
+    let lexed = lex(src);
+    assert_eq!(lexed.comments.len(), 2);
+    assert_eq!(lexed.comments[0].line, 1);
+    assert_eq!(lexed.comments[1].line, 3);
+}
+
+#[test]
+fn cfg_test_gates_but_cfg_attr_does_not() {
+    let gated = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+    assert!(
+        lint_source("fixture.rs", gated, &RuleSet::all()).is_empty(),
+        "cfg(test) code is exempt"
+    );
+
+    let cfg_attr = "#[cfg_attr(test, allow(dead_code))]\nfn f() { let m = std::collections::HashMap::<u32, u32>::new(); let _ = m; }\n";
+    let findings = lint_source("fixture.rs", cfg_attr, &RuleSet::all());
+    assert!(
+        findings.iter().any(|f| f.rule == "no-hash-iteration"),
+        "cfg_attr does not remove the item from non-test builds; findings: {findings:?}"
+    );
+}
+
+#[test]
+fn line_numbers_survive_multiline_tokens() {
+    let src = "let a = \"line\n1 to\n3\";\nstd::time::Instant::now();\n";
+    let findings = lint_source("fixture.rs", src, &RuleSet::all());
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "no-wall-clock");
+    assert_eq!(findings[0].line, 4);
+}

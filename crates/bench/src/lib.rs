@@ -23,6 +23,8 @@
 //! (default, minutes, scaled-down graphs), `--paper` (full Table 2 sizes and
 //! 20 realizations).
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod datasets;
 pub mod figures;

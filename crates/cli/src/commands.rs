@@ -314,6 +314,85 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     server.run(&NEVER_STOP).map_err(|e| e.to_string())
 }
 
+/// `asm lint` — the workspace determinism/robustness static-analysis pass
+/// (see `smin-analyze`). Exit is non-zero exactly when *new* (non-baseline)
+/// findings exist, so CI gates on regressions while grandfathered debt is
+/// paid down incrementally.
+pub fn lint(args: &[String]) -> Result<(), String> {
+    // Valueless switches, split off before the `--key value` parser runs.
+    let mut no_baseline = false;
+    let mut write_baseline = false;
+    let rest: Vec<String> = args
+        .iter()
+        .filter(|a| match a.as_str() {
+            "--no-baseline" => {
+                no_baseline = true;
+                false
+            }
+            "--write-baseline" => {
+                write_baseline = true;
+                false
+            }
+            _ => true,
+        })
+        .cloned()
+        .collect();
+    let f = Flags::parse(&rest)?;
+    let root = std::path::PathBuf::from(f.get("root").unwrap_or("."));
+    if !root.is_dir() {
+        return Err(format!("--root {}: not a directory", root.display()));
+    }
+    let format = f.get("format").unwrap_or("human");
+    if !matches!(format, "human" | "json") {
+        return Err(format!("--format {format}: expected 'human' or 'json'"));
+    }
+    let baseline_path = match f.get("baseline") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => root.join("lint-baseline.json"),
+    };
+    // Explicit --baseline must exist; the default location is optional.
+    let baseline_text = if no_baseline {
+        None
+    } else if baseline_path.is_file() {
+        Some(
+            std::fs::read_to_string(&baseline_path)
+                .map_err(|e| format!("{}: {e}", baseline_path.display()))?,
+        )
+    } else if f.get("baseline").is_some() {
+        return Err(format!("--baseline {}: not found", baseline_path.display()));
+    } else {
+        None
+    };
+
+    let outcome = smin_analyze::run(&root, baseline_text.as_deref())?;
+
+    if write_baseline {
+        let findings: Vec<smin_analyze::Finding> =
+            outcome.reported.iter().map(|r| r.finding.clone()).collect();
+        let text = smin_analyze::baseline::write(&findings);
+        std::fs::write(&baseline_path, text)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        println!(
+            "wrote {} ({} grandfathered finding(s))",
+            baseline_path.display(),
+            outcome.total()
+        );
+        return Ok(());
+    }
+
+    match format {
+        "json" => print!("{}", outcome.json()),
+        _ => print!("{}", outcome.human()),
+    }
+    if outcome.new_count() > 0 {
+        return Err(format!(
+            "{} new lint finding(s); fix them, annotate with `// smin-lint: allow(<rule>) -- <why>`, or regenerate the baseline",
+            outcome.new_count()
+        ));
+    }
+    Ok(())
+}
+
 /// `asm convert`
 pub fn convert(args: &[String]) -> Result<(), String> {
     let f = Flags::parse(args)?;

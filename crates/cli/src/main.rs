@@ -7,6 +7,8 @@
 //! asm convert g.txt g.bin
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod commands;
 mod flags;
 
@@ -23,6 +25,8 @@ USAGE:
           (--eta N | --eta-frac F) [--model ic|lt] [--eps F] [--seed N]
           [--worlds K] [--threads T] [--audit FILE]
   asm serve [--addr HOST:PORT] [--graphs-dir DIR] [--threads T] [--cache N]
+  asm lint [--root DIR] [--format human|json] [--baseline FILE]
+           [--no-baseline] [--write-baseline]
   asm convert <IN> <OUT>            # text <-> binary by extension (.bin)
 
 GRAPH files: '*.bin' = seedmin binary format, anything else = edge list
@@ -42,7 +46,15 @@ memory with warm sketch-pool sessions; POST /v1/select runs TRIM / TRIM-B /
 ASTI with per-request eta, model, eps, batch, seed. Same request body =>
 byte-identical response, for every thread count. --threads sets the
 connection worker count (default SMIN_THREADS, then all cores); --cache
-bounds the memoized-response count (default 1024, 0 disables).";
+bounds the memoized-response count (default 1024, 0 disables).
+
+lint runs the workspace determinism/robustness static analysis (smin-analyze)
+over every crate: no HashMap iteration or wall-clock reads in deterministic
+crates, no ambient RNG, no panics in the service request path, SAFETY
+comments on unsafe, checked index narrowing. Findings listed in
+<root>/lint-baseline.json are grandfathered; the exit code is non-zero only
+for NEW findings. Suppress a justified finding in code with
+`// smin-lint: allow(<rule>) -- <why>`.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +67,7 @@ fn main() -> ExitCode {
         "stats" => commands::stats(rest),
         "run" => commands::run(rest),
         "serve" => commands::serve(rest),
+        "lint" => commands::lint(rest),
         "convert" => commands::convert(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");

@@ -18,6 +18,7 @@ use crate::report::{AstiReport, RoundReport};
 use crate::trim::{schedule, TrimScratch};
 use rand::Rng;
 use smin_diffusion::{InfluenceOracle, Model, ResidualState};
+use smin_graph::cast::u32_of;
 use smin_graph::{Graph, NodeId};
 use smin_sampling::bounds::{coverage_lower_bound, coverage_upper_bound};
 
@@ -69,7 +70,7 @@ pub fn adapt_im(
     let mut residual = ResidualState::new(n);
     for (u, &active) in oracle.active_mask().iter().enumerate() {
         if active {
-            residual.kill(u as u32);
+            residual.kill(u32_of(u));
         }
     }
 

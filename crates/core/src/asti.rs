@@ -18,6 +18,7 @@ use crate::trim::{trim, TrimScratch};
 use crate::trim_b::trim_b;
 use rand::Rng;
 use smin_diffusion::{InfluenceOracle, Model, ResidualState};
+use smin_graph::cast::u32_of;
 use smin_graph::Graph;
 use std::time::Instant;
 
@@ -112,7 +113,7 @@ pub fn asti_in(
         return Err(AsmError::EtaOutOfRange { eta, n });
     }
     if model == Model::LT {
-        for v in 0..n as u32 {
+        for v in 0..u32_of(n) {
             let mass = g.in_prob_sum(v);
             if mass > 1.0 + 1e-9 {
                 return Err(AsmError::InvalidLtInstance { node: v, mass });
@@ -126,7 +127,7 @@ pub fn asti_in(
     residual.reset();
     for (u, &active) in oracle.active_mask().iter().enumerate() {
         if active {
-            residual.kill(u as u32);
+            residual.kill(u32_of(u));
         }
     }
     let mut report = AstiReport {

@@ -11,6 +11,7 @@ use crate::error::AsmError;
 use rand::Rng;
 use smin_diffusion::exact::{for_each_ic_realization, for_each_lt_realization};
 use smin_diffusion::{ForwardSim, InfluenceOracle, Model};
+use smin_graph::cast::u32_of;
 use smin_graph::{Graph, NodeId};
 
 /// Exact `Δ(v | S_{i−1})` for every alive node: expected *marginal truncated*
@@ -26,7 +27,7 @@ pub fn exact_marginal_truncated_spreads(
     let mut sim = ForwardSim::new(n);
     let mut delta = vec![0.0f64; n];
     let mut visit = |phi: &smin_diffusion::Realization, p: f64| {
-        for v in 0..n as u32 {
+        for v in 0..u32_of(n) {
             if active[v as usize] {
                 continue;
             }

@@ -19,6 +19,8 @@
 //! * [`greedy_oracle`] — exact adaptive greedy by exhaustive enumeration,
 //!   the ground-truth comparator for tiny graphs.
 
+#![forbid(unsafe_code)]
+
 pub mod adapt_im;
 pub mod asti;
 pub mod ateuc;

@@ -8,6 +8,7 @@
 use crate::forward::ForwardSim;
 use crate::model::Model;
 use crate::realization::Realization;
+use smin_graph::cast::u32_of;
 use smin_graph::{Graph, NodeId};
 
 /// Hard cap on the number of enumerated realizations (~4M) so that a misuse
@@ -52,7 +53,7 @@ fn enum_ic(
 pub fn for_each_lt_realization(g: &Graph, mut f: impl FnMut(&Realization, f64)) {
     let n = g.n();
     let mut worlds = 1.0f64;
-    for v in 0..n as u32 {
+    for v in 0..u32_of(n) {
         worlds *= (g.in_degree(v) + 1) as f64;
         assert!(
             worlds <= MAX_WORLDS,

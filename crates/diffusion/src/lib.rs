@@ -19,6 +19,8 @@
 //!   fixed-realization implementation (experiment protocol) and a lazily
 //!   sampled one (simulation deployments).
 
+#![forbid(unsafe_code)]
+
 pub mod exact;
 pub mod forward;
 pub mod log;

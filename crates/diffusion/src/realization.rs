@@ -10,6 +10,7 @@
 
 use crate::model::Model;
 use rand::Rng;
+use smin_graph::cast::u32_of;
 use smin_graph::{Graph, NodeId};
 
 /// Sentinel for "node chose no incoming edge" in LT realizations.
@@ -43,7 +44,7 @@ impl Realization {
             }
             Model::LT => {
                 let mut chosen = vec![LT_NONE; g.n()];
-                for v in 0..g.n() as u32 {
+                for v in 0..u32_of(g.n()) {
                     debug_assert!(
                         g.in_prob_sum(v) <= 1.0 + 1e-9,
                         "node {v} has incoming probability mass > 1; not a valid LT instance"

@@ -17,6 +17,7 @@
 //! underlying state.
 
 use rand::Rng;
+use smin_graph::cast::u32_of;
 use smin_graph::{GenStamp, NodeId};
 
 /// Alive/dead bookkeeping for the residual graph.
@@ -35,7 +36,7 @@ impl ResidualState {
         ResidualState {
             alive: vec![true; n],
             alive_nodes: (0..n as NodeId).collect(),
-            pos: (0..n as u32).collect(),
+            pos: (0..u32_of(n)).collect(),
         }
     }
 
@@ -48,7 +49,7 @@ impl ResidualState {
         self.alive_nodes.clear();
         self.alive_nodes.extend(0..self.pos.len() as NodeId);
         for (u, p) in self.pos.iter_mut().enumerate() {
-            *p = u as u32;
+            *p = u32_of(u);
         }
     }
 
@@ -100,7 +101,7 @@ impl ResidualState {
             .expect("alive list cannot be empty here");
         self.alive_nodes.swap_remove(i);
         if last != u {
-            self.pos[last as usize] = i as u32;
+            self.pos[last as usize] = u32_of(i);
         }
     }
 
@@ -130,8 +131,8 @@ impl ResidualState {
             let j = rng.random_range(i..self.alive_nodes.len());
             self.alive_nodes.swap(i, j);
             let (a, b) = (self.alive_nodes[i], self.alive_nodes[j]);
-            self.pos[a as usize] = i as u32;
-            self.pos[b as usize] = j as u32;
+            self.pos[a as usize] = u32_of(i);
+            self.pos[b as usize] = u32_of(j);
             out.push(a);
         }
     }

@@ -1,0 +1,39 @@
+//! Checked narrowing onto the `u32` node/edge-id space.
+//!
+//! The CSR layout, alias tables, and sketch pools all store indices as
+//! `u32` to halve memory traffic, while std collections hand back `usize`.
+//! Every narrowing conversion in the workspace goes through these helpers
+//! so an oversized graph fails loudly at the conversion site instead of
+//! silently truncating an id (the `checked-cast` lint forbids bare
+//! `as u32` narrowing everywhere else).
+
+/// Narrow a `usize` index to `u32`, panicking with a diagnosable message
+/// if the value does not fit. Callers sit behind graph-construction limits
+/// (`n`, `m` ≤ `u32::MAX`), so the panic is unreachable in practice; the
+/// check costs one well-predicted branch.
+#[inline]
+pub fn u32_of(i: usize) -> u32 {
+    match u32::try_from(i) {
+        Ok(v) => v,
+        Err(_) => panic!("index {i} exceeds the u32 id space"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::u32_of;
+
+    #[test]
+    fn in_range_roundtrips() {
+        assert_eq!(u32_of(0), 0);
+        assert_eq!(u32_of(42), 42);
+        assert_eq!(u32_of(u32::MAX as usize), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 id space")]
+    #[cfg(target_pointer_width = "64")]
+    fn out_of_range_panics() {
+        let _ = u32_of(u32::MAX as usize + 1);
+    }
+}

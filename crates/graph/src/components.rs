@@ -1,5 +1,6 @@
 //! Weakly connected components (Table 2 reports the LWCC size per dataset).
 
+use crate::cast::u32_of;
 use crate::csr::{Graph, NodeId};
 
 /// Summary of the weakly-connected-component structure.
@@ -23,7 +24,7 @@ pub fn weakly_connected_components(g: &Graph) -> WccSummary {
     let mut count = 0u32;
     let mut largest = 0usize;
 
-    for start in 0..n as u32 {
+    for start in 0..u32_of(n) {
         if labels[start as usize] != u32::MAX {
             continue;
         }

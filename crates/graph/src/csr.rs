@@ -6,6 +6,8 @@
 //! (e.g. live/blocked status in an IC realization) can be shared between the
 //! two directions.
 
+use crate::cast::u32_of;
+
 /// Node identifier. Graphs are limited to `u32::MAX` nodes, which covers the
 /// largest dataset in the paper (LiveJournal, 4.85M nodes) with room to spare
 /// while halving index memory compared to `usize`.
@@ -61,7 +63,7 @@ impl Graph {
                 cursor[v] += 1;
                 rev_src[slot] = u as NodeId;
                 rev_prob[slot] = fwd_prob[e];
-                rev_edge_id[slot] = e as u32;
+                rev_edge_id[slot] = u32_of(e);
             }
         }
 
@@ -120,7 +122,7 @@ impl Graph {
         let u = u as usize;
         let r = self.fwd_off[u]..self.fwd_off[u + 1];
         r.clone()
-            .map(|e| e as u32)
+            .map(u32_of)
             .zip(self.fwd_dst[r.clone()].iter().copied())
             .zip(self.fwd_prob[r].iter().copied())
             .map(|((e, v), p)| (e, v, p))

@@ -1,5 +1,6 @@
 //! Degree statistics for Table 2 and Figure 3.
 
+use crate::cast::u32_of;
 use crate::csr::Graph;
 
 /// Which degree notion to histogram.
@@ -17,7 +18,7 @@ pub enum DegreeKind {
 pub fn degree_distribution(g: &Graph, kind: DegreeKind) -> Vec<(usize, usize)> {
     let n = g.n();
     let mut hist: Vec<usize> = Vec::new();
-    for u in 0..n as u32 {
+    for u in 0..u32_of(n) {
         let d = match kind {
             DegreeKind::Out => g.out_degree(u),
             DegreeKind::In => g.in_degree(u),

@@ -4,6 +4,7 @@
 //! a fixed power-law weight vector; the alias table turns each draw into one
 //! uniform and one comparison.
 
+use crate::cast::u32_of;
 use rand::Rng;
 
 /// Precomputed alias table over `weights.len()` outcomes.
@@ -40,9 +41,9 @@ impl AliasTable {
         let mut large: Vec<u32> = Vec::new();
         for (i, &p) in prob.iter().enumerate() {
             if p < 1.0 {
-                small.push(i as u32);
+                small.push(u32_of(i));
             } else {
-                large.push(i as u32);
+                large.push(u32_of(i));
             }
         }
         while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
@@ -77,7 +78,7 @@ impl AliasTable {
     pub fn sample(&self, rng: &mut impl Rng) -> u32 {
         let i = rng.random_range(0..self.prob.len());
         if rng.random::<f64>() < self.prob[i] {
-            i as u32
+            u32_of(i)
         } else {
             self.alias[i]
         }

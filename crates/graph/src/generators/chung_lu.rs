@@ -8,8 +8,10 @@
 //! algorithms are actually sensitive to.
 
 use super::alias::AliasTable;
+use crate::cast::u32_of;
 use crate::csr::NodeId;
 use rand::Rng;
+// smin-lint: allow(no-hash-iteration) -- dedup set below is insert-only, never iterated
 use std::collections::HashSet;
 
 /// Power-law weights `w_i = (i + i0)^(−1/(γ−1))` for `i = 0..n`, the standard
@@ -44,8 +46,8 @@ pub fn chung_lu_directed(
 
     // Independent hub orderings for out- and in-weights, so out-hubs are not
     // automatically in-hubs (matches real social graphs better).
-    let mut out_perm: Vec<u32> = (0..n as u32).collect();
-    let mut in_perm: Vec<u32> = (0..n as u32).collect();
+    let mut out_perm: Vec<u32> = (0..u32_of(n)).collect();
+    let mut in_perm: Vec<u32> = (0..u32_of(n)).collect();
     shuffle(&mut out_perm, rng);
     shuffle(&mut in_perm, rng);
 
@@ -59,6 +61,7 @@ pub fn chung_lu_directed(
     let out_table = AliasTable::new(&out_w);
     let in_table = AliasTable::new(&in_w);
 
+    // smin-lint: allow(no-hash-iteration) -- membership test only; edge order comes from the RNG stream
     let mut seen: HashSet<u64> = HashSet::with_capacity(m * 2);
     let mut edges = Vec::with_capacity(m);
     let mut stall = 0usize;

@@ -1,7 +1,9 @@
 //! Erdős–Rényi G(n, m) with distinct directed edges.
 
+use crate::cast::u32_of;
 use crate::csr::NodeId;
 use rand::Rng;
+// smin-lint: allow(no-hash-iteration) -- dedup set below is insert-only, never iterated
 use std::collections::HashSet;
 
 /// Samples exactly `m` distinct directed edges uniformly at random (no self
@@ -18,8 +20,8 @@ pub fn erdos_renyi(n: usize, m: usize, rng: &mut impl Rng) -> Vec<(NodeId, NodeI
     // rejection stalls.
     if (m as u128) * 3 > max_edges {
         let mut all: Vec<(NodeId, NodeId)> = Vec::with_capacity(max_edges as usize);
-        for u in 0..n as u32 {
-            for v in 0..n as u32 {
+        for u in 0..u32_of(n) {
+            for v in 0..u32_of(n) {
                 if u != v {
                     all.push((u, v));
                 }
@@ -34,11 +36,12 @@ pub fn erdos_renyi(n: usize, m: usize, rng: &mut impl Rng) -> Vec<(NodeId, NodeI
         return all;
     }
 
+    // smin-lint: allow(no-hash-iteration) -- membership test only; edge order comes from the RNG stream
     let mut seen: HashSet<u64> = HashSet::with_capacity(m * 2);
     let mut edges = Vec::with_capacity(m);
     while edges.len() < m {
-        let u = rng.random_range(0..n as u32);
-        let v = rng.random_range(0..n as u32);
+        let u = rng.random_range(0..u32_of(n));
+        let v = rng.random_range(0..u32_of(n));
         if u == v {
             continue;
         }

@@ -6,6 +6,7 @@
 
 use crate::csr::NodeId;
 use rand::Rng;
+// smin-lint: allow(no-hash-iteration) -- dedup set below is insert-only, never iterated
 use std::collections::HashSet;
 
 /// R-MAT quadrant probabilities. Must be positive and sum to 1.
@@ -59,6 +60,7 @@ pub fn rmat(scale: u32, m: usize, params: RmatParams, rng: &mut impl Rng) -> Vec
         "cannot place {m} distinct directed edges on {n} nodes"
     );
 
+    // smin-lint: allow(no-hash-iteration) -- membership test only; edge order comes from the RNG stream
     let mut seen: HashSet<u64> = HashSet::with_capacity(m * 2);
     let mut edges = Vec::with_capacity(m);
     let ab = params.a + params.b;

@@ -1,7 +1,9 @@
 //! Watts–Strogatz small-world rewiring (undirected pair list).
 
+use crate::cast::u32_of;
 use crate::csr::NodeId;
 use rand::Rng;
+// smin-lint: allow(no-hash-iteration) -- dedup set below is insert-only, never iterated
 use std::collections::HashSet;
 
 /// Ring lattice over `n` nodes where each node connects to its `k/2` nearest
@@ -16,6 +18,7 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut impl Rng) -> Vec<
     assert!(n > k, "need n > k");
     assert!((0.0..=1.0).contains(&beta), "beta must lie in [0, 1]");
 
+    // smin-lint: allow(no-hash-iteration) -- membership test only; edge order follows the ring scan
     let mut seen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(n * k / 2);
     let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * k / 2);
     let norm = |u: NodeId, v: NodeId| (u.min(v), u.max(v));
@@ -29,7 +32,7 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut impl Rng) -> Vec<
                 // rewire the far endpoint
                 let mut tries = 0;
                 loop {
-                    let w = rng.random_range(0..n as u32);
+                    let w = rng.random_range(0..u32_of(n));
                     if w != u && !seen.contains(&norm(u, w)) {
                         a = u;
                         b = w;

@@ -20,8 +20,11 @@
 //!   sampling hot paths: generation stamps (O(1) reset, sparse queries) and
 //!   word-packed bitsets (persistent masks, word-at-a-time clear/union/count).
 
+#![forbid(unsafe_code)]
+
 pub mod bitset;
 pub mod builder;
+pub mod cast;
 pub mod components;
 pub mod csr;
 pub mod degree;
@@ -35,6 +38,7 @@ pub mod weights;
 
 pub use bitset::FixedBitSet;
 pub use builder::{DedupPolicy, GraphBuilder};
+pub use cast::u32_of;
 pub use csr::{Graph, NodeId};
 pub use error::GraphError;
 pub use stamp::GenStamp;

@@ -6,6 +6,7 @@
 //! before an experiment) and tests.
 
 use crate::builder::GraphBuilder;
+use crate::cast::u32_of;
 use crate::csr::{Graph, NodeId};
 
 /// The transpose graph: every edge `⟨u, v⟩` becomes `⟨v, u⟩` with the same
@@ -33,7 +34,7 @@ pub fn induced_subgraph(g: &Graph, keep: &[NodeId]) -> (Graph, Vec<NodeId>) {
             u32::MAX,
             "duplicate node {old} in keep list"
         );
-        new_id[old as usize] = i as u32;
+        new_id[old as usize] = u32_of(i);
     }
     let mut b = GraphBuilder::new(keep.len());
     for &old in keep {
@@ -61,9 +62,9 @@ pub fn largest_wcc(g: &Graph) -> (Graph, Vec<NodeId>) {
         .iter()
         .enumerate()
         .max_by_key(|&(_, s)| *s)
-        .map(|(l, _)| l as u32)
+        .map(|(l, _)| u32_of(l))
         .unwrap_or(0);
-    let keep: Vec<NodeId> = (0..g.n() as u32)
+    let keep: Vec<NodeId> = (0..u32_of(g.n()))
         .filter(|&u| wcc.labels[u as usize] == best)
         .collect();
     induced_subgraph(g, &keep)

@@ -10,6 +10,7 @@
 //! with [`TopicGraph::for_mixture`] and run ASTI on it unchanged — exactly
 //! the extension path the paper describes.
 
+use crate::cast::u32_of;
 use crate::csr::Graph;
 use crate::error::GraphError;
 use rand::Rng;
@@ -38,7 +39,7 @@ impl TopicGraph {
         );
         for (i, &p) in probs.iter().enumerate() {
             if !(p > 0.0 && p <= 1.0) {
-                let e = (i / num_topics) as u32;
+                let e = u32_of(i / num_topics);
                 return Err(GraphError::InvalidProbability {
                     u: u32::MAX,
                     v: structure.edge_dst(e),

@@ -14,6 +14,7 @@
 //! the reference implementation and as the small-`b` fast path.
 
 use crate::pool::SketchPool;
+use smin_graph::cast::u32_of;
 use smin_graph::{FixedBitSet, NodeId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -124,7 +125,7 @@ impl CoverageEngine {
 
         let mut seeds = Vec::with_capacity(b);
         let mut covered = 0u32;
-        for round in 1..=b as u32 {
+        for round in 1..=u32_of(b) {
             let picked = loop {
                 let Some(&(gain, Reverse(v))) = self.heap.peek() else {
                     break None;

@@ -21,6 +21,8 @@
 //!   counter-derived per-set RNG streams, so the pool is bit-identical for
 //!   any thread count.
 
+#![forbid(unsafe_code)]
+
 pub mod bounds;
 pub mod coverage;
 pub mod mrr;

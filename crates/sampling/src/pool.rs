@@ -29,6 +29,7 @@
 //! pattern the arena is shaped for: capacity learned in round one is kept
 //! forever.
 
+use smin_graph::cast::u32_of;
 use smin_graph::{GenStamp, NodeId};
 use std::cell::RefCell;
 
@@ -185,7 +186,7 @@ impl SketchPool {
             "sketch-pool arena word index overflow"
         );
         self.arena.resize(idx + cap as usize + 1, NONE);
-        idx as u32
+        u32_of(idx)
     }
 
     /// Adds one set; duplicates within `nodes` must already be removed
@@ -198,7 +199,7 @@ impl SketchPool {
             id < u32::MAX as usize,
             "SketchPool holds {id} sets; adding more would overflow the u32 set-id space"
         );
-        let id = id as u32;
+        let id = u32_of(id);
         for &v in nodes {
             debug_assert!((v as usize) < self.n);
             let vi = v as usize;
@@ -351,7 +352,7 @@ impl Iterator for SetsOf<'_> {
             for &id in &self.arena[base..base + take] {
                 acc = f(acc, id);
             }
-            self.remaining -= take as u32;
+            self.remaining -= u32_of(take);
             if self.remaining > 0 {
                 self.chunk = self.arena[self.chunk as usize];
                 self.cap = next_cap(self.cap);

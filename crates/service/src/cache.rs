@@ -7,13 +7,15 @@
 //! the same id can never serve a stale selection. Eviction is FIFO; the
 //! cache is a latency optimization, not a source of truth.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
-/// FIFO-bounded response cache.
+/// FIFO-bounded response cache. `BTreeMap` keeps the service free of
+/// hash-ordered state (the `no-hash-iteration` lint); lookups are O(log n)
+/// over at most `capacity` keys, noise next to running a selection.
 pub struct SelectCache {
     capacity: usize,
-    map: HashMap<String, Arc<[u8]>>,
+    map: BTreeMap<String, Arc<[u8]>>,
     order: VecDeque<String>,
 }
 
@@ -22,7 +24,7 @@ impl SelectCache {
     pub fn new(capacity: usize) -> Self {
         SelectCache {
             capacity,
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             order: VecDeque::new(),
         }
     }

@@ -29,6 +29,8 @@
 //! The CLI front end is `asm serve`; `svc_load` (in `smin-bench`) is the
 //! matching load generator.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod client;
 pub mod error;

@@ -10,7 +10,7 @@
 use crate::error::ServiceError;
 use smin_core::AstiSession;
 use smin_graph::Graph;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -81,10 +81,11 @@ impl std::fmt::Debug for GraphEntry {
     }
 }
 
-/// All registered graphs, keyed by id.
+/// All registered graphs, keyed by id. Ordered map so every iteration —
+/// listings, debug dumps — is deterministic without an explicit sort.
 #[derive(Default)]
 pub struct Registry {
-    entries: HashMap<String, Arc<GraphEntry>>,
+    entries: BTreeMap<String, Arc<GraphEntry>>,
     next_token: u64,
     next_auto_id: u64,
 }
@@ -156,11 +157,9 @@ impl Registry {
         self.entries.remove(id).is_some()
     }
 
-    /// All entries, sorted by id for stable listings.
+    /// All entries, sorted by id (the map's key order) for stable listings.
     pub fn list(&self) -> Vec<Arc<GraphEntry>> {
-        let mut all: Vec<_> = self.entries.values().cloned().collect();
-        all.sort_by(|a, b| a.id.cmp(&b.id));
-        all
+        self.entries.values().cloned().collect()
     }
 
     /// Number of registered graphs.

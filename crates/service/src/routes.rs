@@ -48,6 +48,7 @@ impl ServiceState {
             registry: Mutex::new(Registry::new()),
             cache: Mutex::new(SelectCache::new(cache_capacity)),
             graphs_dir,
+            // smin-lint: allow(no-wall-clock) -- /healthz uptime is observability, outside the determinism contract
             started: Instant::now(),
         }
     }
@@ -74,9 +75,8 @@ pub fn handle(state: &ServiceState, req: &Request) -> Response {
                 .strip_prefix("/v1/graphs/")
                 .is_some_and(|id| !id.is_empty()) =>
         {
-            let id = path.strip_prefix("/v1/graphs/").expect("guard matched");
-            match method {
-                "DELETE" => delete_graph(state, id),
+            match path.strip_prefix("/v1/graphs/") {
+                Some(id) if method == "DELETE" => delete_graph(state, id),
                 _ => Err(method_not_allowed(method, path)),
             }
         }
@@ -392,6 +392,7 @@ fn parse_select(state: &ServiceState, body: &[u8]) -> Result<SelectRequest, Serv
 /// stream `seed`), on a session recycled from the graph's warm shelf.
 fn select(state: &ServiceState, body: &[u8]) -> Result<Response, ServiceError> {
     let req = parse_select(state, body)?;
+    // smin-lint: allow(no-wall-clock) -- feeds the X-Select-Micros header only; bodies stay bit-identical
     let started = Instant::now();
     let key = req.cache_key();
 
@@ -464,7 +465,13 @@ fn select(state: &ServiceState, body: &[u8]) -> Result<Response, ServiceError> {
         "rounds": rounds,
     });
     let body = serde_json::to_string(&body_value)
-        .expect("shim serialization is infallible")
+        .map_err(|e| {
+            ServiceError::new(
+                500,
+                "serialization_failed",
+                format!("response encoding: {e}"),
+            )
+        })?
         .into_bytes();
 
     if req.use_cache {

@@ -29,6 +29,8 @@
 //! assert!(report.total_activated >= 50);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use smin_core as algo;
 pub use smin_diffusion as diffusion;
 pub use smin_graph as graph;
