@@ -1,0 +1,208 @@
+//! `graph_load` — pins the text-parse vs. binary-snapshot load gap.
+//!
+//! Generates a Chung–Lu graph (default 200K nodes / 1M directed edges, WC
+//! weights), materializes it both as a `u v p` text edge list and as a
+//! packed `.smg` CSR snapshot, then times `--iters` full loads of each and
+//! reports nearest-rank medians. The loaded graphs are asserted bit-equal so
+//! the two paths are doing the same work.
+//!
+//! ```text
+//! graph_load [--n N] [--m M] [--seed S] [--iters K] [--out FILE] [--keep]
+//! ```
+//!
+//! Results land in `BENCH_graph_load.json` (hand-formatted, fixed field
+//! order) so CI can archive the perf trajectory run over run. The bin never
+//! fails on the speedup itself — it records; the ISSUE-level ≥20× gate is a
+//! human/CI decision on the artifact.
+
+use smin_bench::stats;
+use std::io::Write as _;
+use std::time::Instant;
+
+struct LoadArgs {
+    n: usize,
+    m: usize,
+    seed: u64,
+    iters: usize,
+    out: String,
+    keep: bool,
+}
+
+const USAGE: &str = "\
+graph_load — text-parse vs binary-snapshot load benchmark
+
+USAGE:
+  graph_load [--n NODES] [--m EDGES] [--seed N] [--iters K]
+             [--out FILE] [--keep]
+
+Defaults: --n 200000 --m 1000000 --seed 42 --iters 5
+          --out BENCH_graph_load.json
+--keep leaves the generated graph.txt / graph.smg pair on disk.";
+
+fn parse_args() -> Result<LoadArgs, String> {
+    let mut out = LoadArgs {
+        n: 200_000,
+        m: 1_000_000,
+        seed: 42,
+        iters: 5,
+        out: "BENCH_graph_load.json".to_string(),
+        keep: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--keep" => out.keep = true,
+            "--n" => out.n = parse(value("--n")?, "--n")?,
+            "--m" => out.m = parse(value("--m")?, "--m")?,
+            "--seed" => out.seed = parse(value("--seed")?, "--seed")?,
+            "--iters" => out.iters = parse(value("--iters")?, "--iters")?,
+            "--out" => out.out = value("--out")?.clone(),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    if out.n < 2 || out.m == 0 || out.iters == 0 {
+        return Err("--n must be >= 2, --m and --iters at least 1".into());
+    }
+    Ok(out)
+}
+
+fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    v.parse::<T>()
+        .map_err(|e| format!("bad value for {flag}: {e}"))
+}
+
+/// Times `iters` runs of `load`, returning ascending-sorted milliseconds.
+/// Every run's edge count is checked against `reference` (node counts can
+/// legitimately differ: the text format drops isolated nodes on relabeling,
+/// while the snapshot preserves them).
+fn time_loads(
+    iters: usize,
+    reference: &smin_graph::Graph,
+    mut load: impl FnMut() -> smin_graph::Graph,
+) -> Vec<f64> {
+    let mut ms: Vec<f64> = (0..iters)
+        .map(|_| {
+            let started = Instant::now();
+            let g = load();
+            let elapsed = started.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(g.m(), reference.m(), "loaded graph must match");
+            assert!(g.n() <= reference.n(), "loaded graph must match");
+            elapsed
+        })
+        .collect();
+    ms.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    ms
+}
+
+fn run(args: &LoadArgs) -> Result<(), String> {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use smin_graph::generators::{assemble, chung_lu_directed};
+    use smin_graph::{io, store, WeightModel};
+
+    eprintln!(
+        "generating chung-lu graph: n = {}, m = {}, seed = {}",
+        args.n, args.m, args.seed
+    );
+    let mut rng = SmallRng::seed_from_u64(args.seed);
+    let pairs = chung_lu_directed(args.n, args.m, 2.1, &mut rng);
+    let g = assemble(args.n, &pairs, true, WeightModel::WeightedCascade, &mut rng)
+        .map_err(|e| format!("assemble: {e}"))?;
+
+    let dir = std::env::temp_dir().join(format!("smin_graph_load_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let txt = dir.join("graph.txt");
+    let smg = dir.join("graph.smg");
+    {
+        let f = std::fs::File::create(&txt).map_err(|e| format!("create graph.txt: {e}"))?;
+        let mut w = std::io::BufWriter::new(f);
+        io::write_edge_list(&g, &mut w).map_err(|e| format!("write graph.txt: {e}"))?;
+        w.flush().map_err(|e| format!("flush graph.txt: {e}"))?;
+    }
+    store::write_smg_path(&g, &smg).map_err(|e| format!("write graph.smg: {e}"))?;
+    let txt_bytes = std::fs::metadata(&txt).map_err(|e| e.to_string())?.len();
+    let smg_bytes = std::fs::metadata(&smg).map_err(|e| e.to_string())?.len();
+    eprintln!(
+        "materialized: graph.txt = {txt_bytes} bytes, graph.smg = {smg_bytes} bytes; timing {} loads of each",
+        args.iters
+    );
+
+    let text_ms = time_loads(args.iters, &g, || {
+        io::read_edge_list_path(&txt)
+            .expect("read text edge list")
+            .into_graph(true, 1.0)
+            .expect("build graph from text")
+    });
+    let binary_ms = time_loads(args.iters, &g, || {
+        store::read_smg_path(&smg).expect("read snapshot")
+    });
+
+    let median = |sorted: &[f64]| stats::percentile(sorted, 0.50).expect("non-empty sample");
+    let text_median = median(&text_ms);
+    let binary_median = median(&binary_ms);
+    let speedup = text_median / binary_median.max(1e-9);
+
+    // Hand-formatted so the field order is deterministic run over run; only
+    // the measured values change between machines.
+    let json = format!(
+        "{{\n  \
+           \"bench\": \"graph_load\",\n  \
+           \"n\": {n},\n  \
+           \"m\": {m},\n  \
+           \"seed\": {seed},\n  \
+           \"iters\": {iters},\n  \
+           \"text_bytes\": {txt_bytes},\n  \
+           \"smg_bytes\": {smg_bytes},\n  \
+           \"text_parse_ms\": {{ \"median\": {tm:.3}, \"min\": {tmin:.3}, \"max\": {tmax:.3} }},\n  \
+           \"binary_load_ms\": {{ \"median\": {bm:.3}, \"min\": {bmin:.3}, \"max\": {bmax:.3} }},\n  \
+           \"speedup_median\": {speedup:.1}\n}}\n",
+        n = args.n,
+        m = args.m,
+        seed = args.seed,
+        iters = args.iters,
+        tm = text_median,
+        tmin = text_ms[0],
+        tmax = text_ms[text_ms.len() - 1],
+        bm = binary_median,
+        bmin = binary_ms[0],
+        bmax = binary_ms[binary_ms.len() - 1],
+    );
+    std::fs::write(&args.out, &json).map_err(|e| format!("write {}: {e}", args.out))?;
+
+    println!(
+        "text parse:  median {text_median:.1} ms over {} iters",
+        args.iters
+    );
+    println!(
+        "binary load: median {binary_median:.1} ms over {} iters",
+        args.iters
+    );
+    println!("speedup: {speedup:.1}x  (recorded in {})", args.out);
+
+    if args.keep {
+        eprintln!("kept {} and {}", txt.display(), smg.display());
+    } else {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    Ok(())
+}
+
+fn main() {
+    let result = parse_args().and_then(|args| run(&args));
+    if let Err(e) = result {
+        eprintln!("graph_load error: {e}");
+        std::process::exit(1);
+    }
+}

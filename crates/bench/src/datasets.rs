@@ -11,7 +11,8 @@
 //! Stand-ins are directed Chung–Lu power-law graphs matched on `n`, `m`
 //! (after mirroring undirected edges) and tail exponent, with the paper's
 //! weighted-cascade probabilities. When a `--snap` directory is supplied and
-//! contains `<name>.txt`, the real edge list is loaded instead.
+//! contains `<name>.smg` (preferred, instant binary load) or `<name>.txt`,
+//! the real edge list is loaded instead.
 
 use crate::args::{Args, Tier};
 use rand::rngs::SmallRng;
@@ -175,18 +176,33 @@ pub fn dataset_specs(tier: Tier) -> Vec<DatasetSpec> {
     }
 }
 
-/// Materializes a dataset: from `--snap` when available, otherwise the
-/// Chung–Lu stand-in. WC weights either way (§6.1). Deterministic in
-/// `args.seed`.
+/// Materializes a dataset: from `--snap` when available (a packed
+/// `<name>.smg` snapshot loads in milliseconds and is preferred over the
+/// `<name>.txt` edge list), otherwise the Chung–Lu stand-in. WC weights
+/// either way (§6.1). Deterministic in `args.seed`.
 pub fn build_dataset(spec: &DatasetSpec, args: &Args) -> Graph {
     if let Some(dir) = &args.snap_dir {
-        let path = format!("{dir}/{}.txt", spec.snap_name);
-        if std::path::Path::new(&path).exists() {
-            let el = io::read_edge_list_path(&path)
-                .unwrap_or_else(|e| panic!("failed to read {path}: {e}"));
-            let structural = el
-                .into_graph(spec.directed, 1.0)
-                .unwrap_or_else(|e| panic!("failed to build graph from {path}: {e}"));
+        // Preference order: `asm pack`ed binary snapshot first, raw SNAP
+        // text second. Both carry structural (p = 1) edges; WC weights are
+        // applied here so the two paths produce identical graphs.
+        let smg = format!("{dir}/{}.smg", spec.snap_name);
+        let txt = format!("{dir}/{}.txt", spec.snap_name);
+        let structural = if std::path::Path::new(&smg).exists() {
+            Some(
+                smin_graph::store::read_smg_path(&smg)
+                    .unwrap_or_else(|e| panic!("failed to read {smg}: {e}")),
+            )
+        } else if std::path::Path::new(&txt).exists() {
+            let el = io::read_edge_list_path(&txt)
+                .unwrap_or_else(|e| panic!("failed to read {txt}: {e}"));
+            Some(
+                el.into_graph(spec.directed, 1.0)
+                    .unwrap_or_else(|e| panic!("failed to build graph from {txt}: {e}")),
+            )
+        } else {
+            None
+        };
+        if let Some(structural) = structural {
             let mut rng = SmallRng::seed_from_u64(args.seed);
             return smin_graph::weights::apply_weights(
                 &structural,
@@ -195,7 +211,7 @@ pub fn build_dataset(spec: &DatasetSpec, args: &Args) -> Graph {
             );
         }
         eprintln!(
-            "note: {path} not found; using synthetic stand-in for {}",
+            "note: neither {smg} nor {txt} found; using synthetic stand-in for {}",
             spec.name
         );
     }
@@ -288,6 +304,37 @@ mod tests {
             }
         }
         assert_eq!(mirrored, total, "every undirected edge appears both ways");
+    }
+
+    #[test]
+    fn snap_dir_prefers_packed_smg_snapshot() {
+        let dir = std::env::temp_dir().join(format!("smin_bench_smg_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp snap dir");
+        let spec = &dataset_specs(Tier::Smoke)[0]; // nethept-like
+        let args = Args {
+            tier: Tier::Smoke,
+            snap_dir: Some(dir.to_string_lossy().into_owned()),
+            ..Args::default()
+        };
+        // Pack a small structural (p = 1) graph as <snap_name>.smg.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let pairs = chung_lu_directed(300, 1200, 2.1, &mut rng);
+        let structural = assemble(300, &pairs, true, WeightModel::Trivalency, &mut rng)
+            .expect("generator produces valid edges");
+        let smg = dir.join(format!("{}.smg", spec.snap_name));
+        smin_graph::store::write_smg_path(&structural, &smg).expect("write snapshot");
+
+        let g = build_dataset(spec, &args);
+        // The snapshot (n = 300) won over both the missing .txt and the
+        // synthetic stand-in (n = 1520), and WC weights were applied on top.
+        assert_eq!(g.n(), 300);
+        assert_eq!(g.m(), structural.m());
+        for v in 0..g.n() as u32 {
+            for (_, p, _) in g.in_edges(v) {
+                assert!((p - 1.0 / g.in_degree(v) as f64).abs() < 1e-12);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -10,22 +10,21 @@ use smin_graph::degree::{degree_distribution, log_log_slope, DegreeKind};
 use smin_graph::generators::{
     assemble, barabasi_albert, chung_lu_directed, erdos_renyi, watts_strogatz,
 };
-use smin_graph::{io, Graph, WeightModel};
+use smin_graph::{io, store, Graph, WeightModel};
 
-/// Loads a graph by extension: `.bin` = binary format, else edge list.
+/// Loads a graph of any supported format. Dispatch is by content sniffing
+/// (`io::load_auto`), so `.smg` snapshots, legacy binaries, and text edge
+/// lists all load regardless of what the file is named.
 fn load_graph(path: &str) -> Result<Graph, String> {
-    if path.ends_with(".bin") {
-        io::read_binary_path(path).map_err(|e| format!("{path}: {e}"))
-    } else {
-        io::read_edge_list_path(path)
-            .and_then(|el| el.into_graph(true, 1.0))
-            .map_err(|e| format!("{path}: {e}"))
-    }
+    io::load_auto(path, 1.0).map_err(|e| format!("{path}: {e}"))
 }
 
-/// Saves a graph by extension.
+/// Saves a graph by extension: `.smg` = CSR snapshot, `.bin` = legacy
+/// binary, anything else = text edge list.
 fn save_graph(g: &Graph, path: &str) -> Result<(), String> {
-    if path.ends_with(".bin") {
+    if path.ends_with(".smg") {
+        store::write_smg_path(g, path).map_err(|e| format!("{path}: {e}"))
+    } else if path.ends_with(".bin") {
         io::write_binary_path(g, path).map_err(|e| format!("{path}: {e}"))
     } else {
         let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
@@ -293,21 +292,27 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         None => None,
     };
     let cache_capacity: usize = f.get_or("cache", 1024)?;
+    // Durable registry root: created on first use, restored on every boot.
+    let state_dir = f.get("state-dir").map(std::path::PathBuf::from);
 
     let config = smin_service::ServerConfig {
         addr,
         workers,
         graphs_dir: graphs_dir.clone(),
+        state_dir: state_dir.clone(),
         cache_capacity,
     };
     let server =
         smin_service::Server::bind(&config).map_err(|e| format!("{}: {e}", config.addr))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     println!(
-        "asm serve: listening on http://{addr} ({workers} workers, graphs dir: {}, cache: {cache_capacity})",
+        "asm serve: listening on http://{addr} ({workers} workers, graphs dir: {}, state dir: {}, cache: {cache_capacity})",
         graphs_dir
             .as_deref()
             .map_or("disabled".to_string(), |p| p.display().to_string()),
+        state_dir
+            .as_deref()
+            .map_or("none".to_string(), |p| p.display().to_string()),
     );
     println!("endpoints: GET /healthz · GET/POST /v1/graphs · DELETE /v1/graphs/{{id}} · POST /v1/select");
     static NEVER_STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
@@ -389,6 +394,52 @@ pub fn lint(args: &[String]) -> Result<(), String> {
             "{} new lint finding(s); fix them, annotate with `// smin-lint: allow(<rule>) -- <why>`, or regenerate the baseline",
             outcome.new_count()
         ));
+    }
+    Ok(())
+}
+
+/// `asm pack` — encode any loadable graph as a `.smg` CSR snapshot.
+pub fn pack(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let [input, output] = f.positional.as_slice() else {
+        return Err("usage: asm pack <GRAPH> <OUT.smg>".into());
+    };
+    let g = load_graph(input)?;
+    store::write_smg_path(&g, output).map_err(|e| format!("{output}: {e}"))?;
+    let checksum = store::content_checksum(&g);
+    println!(
+        "packed {input} -> {output}: {} nodes, {} edges, checksum {checksum:016x}",
+        g.n(),
+        g.m()
+    );
+    Ok(())
+}
+
+/// `asm inspect` — dump a `.smg` snapshot header without decoding columns.
+pub fn inspect(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let [path] = f.positional.as_slice() else {
+        return Err("usage: asm inspect <FILE.smg>".into());
+    };
+    let h = store::read_smg_header_path(path).map_err(|e| format!("{path}: {e}"))?;
+    let actual = std::fs::metadata(path).map(|m| m.len()).ok();
+    println!("{path}: smg snapshot");
+    println!("  version:    {}", h.version);
+    println!("  flags:      {:#010x}", h.flags);
+    println!("  nodes:      {}", h.n);
+    println!("  edges:      {}", h.m);
+    println!("  crc off:    {:#010x}", h.crc_off);
+    println!("  crc dst:    {:#010x}", h.crc_dst);
+    println!("  crc prob:   {:#010x}", h.crc_prob);
+    println!("  crc header: {:#010x}", h.crc_header);
+    println!("  checksum:   {:016x}", h.content_checksum());
+    match actual {
+        Some(len) if len == h.file_len() => println!("  file size:  {len} bytes (matches header)"),
+        Some(len) => println!(
+            "  file size:  {len} bytes (HEADER SAYS {} — truncated or padded!)",
+            h.file_len()
+        ),
+        None => println!("  file size:  unknown"),
     }
     Ok(())
 }
@@ -511,6 +562,49 @@ mod tests {
         .map(|s| s.to_string())
         .collect();
         assert!(run(&bad).unwrap_err().contains("--audit"));
+    }
+
+    #[test]
+    fn pack_and_inspect_roundtrip() {
+        let dir = std::env::temp_dir().join("smin_cli_pack");
+        std::fs::create_dir_all(&dir).unwrap();
+        let txt = dir.join("g.txt");
+        std::fs::write(&txt, "0 1 0.5\n1 2 0.25\n2 0 1.0\n").unwrap();
+        let txt = txt.to_str().unwrap().to_string();
+        let smg = dir.join("g.smg");
+        let smg = smg.to_str().unwrap().to_string();
+
+        pack(&[txt.clone(), smg.clone()]).unwrap();
+        inspect(std::slice::from_ref(&smg)).unwrap();
+
+        // Packing twice produces byte-identical snapshots.
+        let again = dir.join("g2.smg");
+        let again = again.to_str().unwrap().to_string();
+        pack(&[txt.clone(), again.clone()]).unwrap();
+        assert_eq!(
+            std::fs::read(&smg).unwrap(),
+            std::fs::read(&again).unwrap(),
+            "pack must be deterministic"
+        );
+
+        // The snapshot loads back bit-equal through the content sniffer.
+        let g1 = load_graph(&txt).unwrap();
+        let g2 = load_graph(&smg).unwrap();
+        assert_eq!(
+            g1.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+
+        // inspect rejects non-snapshots with a useful error.
+        let err = inspect(std::slice::from_ref(&txt)).unwrap_err();
+        assert!(err.contains("magic"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pack_usage_errors() {
+        assert!(pack(&[]).unwrap_err().contains("usage"));
+        assert!(inspect(&[]).unwrap_err().contains("usage"));
     }
 
     #[test]

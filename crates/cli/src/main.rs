@@ -24,13 +24,25 @@ USAGE:
   asm run --graph <GRAPH> --algo <asti|adaptim|ateuc> [--batch B]
           (--eta N | --eta-frac F) [--model ic|lt] [--eps F] [--seed N]
           [--worlds K] [--threads T] [--audit FILE]
-  asm serve [--addr HOST:PORT] [--graphs-dir DIR] [--threads T] [--cache N]
+  asm serve [--addr HOST:PORT] [--graphs-dir DIR] [--state-dir DIR]
+            [--threads T] [--cache N]
   asm lint [--root DIR] [--format human|json] [--baseline FILE]
            [--no-baseline] [--write-baseline]
-  asm convert <IN> <OUT>            # text <-> binary by extension (.bin)
+  asm pack <GRAPH> <OUT.smg>        # encode as a binary CSR snapshot
+  asm inspect <FILE.smg>            # dump a snapshot header
+  asm convert <IN> <OUT>            # re-encode by output extension
 
-GRAPH files: '*.bin' = seedmin binary format, anything else = edge list
-(`u v [p]` per line, '#' comments).
+GRAPH inputs are content-sniffed: '.smg' CSR snapshots, the legacy binary
+dump, and text edge lists (`u v [p]` per line, '#'/'%' comments, SNAP
+`# Nodes: N Edges: M` size headers honored) all load regardless of
+extension. Outputs choose their format by extension: '.smg' snapshot,
+'.bin' legacy binary, anything else text.
+
+pack writes the deterministic `.smg` snapshot (64-byte header + checksummed
+offset/target/probability columns): the same graph always produces the same
+bytes, and loading is read_exact + validation — orders of magnitude faster
+than re-parsing text. inspect prints the header (version, n, m, per-section
+CRCs, content checksum) without decoding the columns.
 
 --threads controls the sketch-generation worker pool for asti (default:
 SMIN_THREADS env var, then all available cores). Seed selections are
@@ -46,7 +58,11 @@ memory with warm sketch-pool sessions; POST /v1/select runs TRIM / TRIM-B /
 ASTI with per-request eta, model, eps, batch, seed. Same request body =>
 byte-identical response, for every thread count. --threads sets the
 connection worker count (default SMIN_THREADS, then all cores); --cache
-bounds the memoized-response count (default 1024, 0 disables).
+bounds the memoized-response count (default 1024, 0 disables). --state-dir
+makes the registry durable: every registered graph is snapshotted to
+DIR/graphs/<id>.smg and indexed in DIR/manifest.json, and a restarted
+server reloads all of them — same ids, same checksum-derived tokens — with
+no re-registration.
 
 lint runs the workspace determinism/robustness static analysis (smin-analyze)
 over every crate: no HashMap iteration or wall-clock reads in deterministic
@@ -68,6 +84,8 @@ fn main() -> ExitCode {
         "run" => commands::run(rest),
         "serve" => commands::serve(rest),
         "lint" => commands::lint(rest),
+        "pack" => commands::pack(rest),
+        "inspect" => commands::inspect(rest),
         "convert" => commands::convert(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");

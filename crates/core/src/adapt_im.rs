@@ -88,6 +88,7 @@ pub fn adapt_im(
     while oracle.num_active() < eta && residual.n_alive() > 0 {
         let eta_i = eta - oracle.num_active();
         let n_alive = residual.n_alive();
+        // smin-lint: allow(no-wall-clock) -- reported only, never branched on; selection stays bit-identical
         let started = std::time::Instant::now();
         let (node, sets_generated, est) =
             select_max_spread(g, model, &mut residual, params, &mut scratch, rng);

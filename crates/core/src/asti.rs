@@ -145,6 +145,7 @@ pub fn asti_in(
         let n_alive = residual.n_alive();
 
         // Line 3: (approximate) truncated-influence maximization.
+        // smin-lint: allow(no-wall-clock) -- reported only, never branched on; selection stays bit-identical
         let started = Instant::now();
         let (seeds, sets_generated, est) = if params.batch == 1 {
             let out = trim(g, model, residual, eta_i, &params.trim, scratch, rng)?;

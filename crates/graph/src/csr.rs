@@ -13,22 +13,54 @@ use crate::cast::u32_of;
 /// while halving index memory compared to `usize`.
 pub type NodeId = u32;
 
+/// Edge count below which CSR construction and snapshot decoding run inline:
+/// thread spawn overhead outweighs the parallelism. Purely a performance
+/// knob — the output is bit-identical either way.
+pub(crate) const MIN_PARALLEL_EDGES: usize = 1 << 18;
+
+/// Worker count for parallel graph construction/decoding: the `SMIN_THREADS`
+/// override first, then [`std::thread::available_parallelism`], capped at 8
+/// (the work is memory-bandwidth bound beyond that). Every result is
+/// bit-identical for every worker count; this only sets the wall-clock.
+pub(crate) fn build_workers(m: usize) -> usize {
+    if m < MIN_PARALLEL_EDGES {
+        return 1;
+    }
+    let t = std::env::var("SMIN_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |t| t.get()));
+    t.min(8)
+}
+
+/// Reverse adjacency of a [`Graph`], stored interleaved: one
+/// `(source, forward edge id, probability)` record per reverse slot, so a
+/// reverse traversal touches a single cache line per edge.
+#[derive(Clone, Debug)]
+struct RevCsr {
+    off: Vec<usize>,
+    adj: Vec<(NodeId, u32, f64)>,
+}
+
 /// A directed probabilistic graph in compressed-sparse-row form.
 ///
 /// Construction goes through [`GraphBuilder`](crate::GraphBuilder); the
 /// resulting graph is immutable. Edges within a node's adjacency are sorted by
 /// neighbor id and deduplicated according to the builder's policy.
+///
+/// The reverse CSR is materialized lazily on the first reverse traversal:
+/// loading a snapshot, registering a graph, or restarting a server never pays
+/// the O(n + m) transpose, only the first RR-sampling query does — once per
+/// graph, with a result that is bit-identical no matter when or from how many
+/// threads it is first demanded.
 #[derive(Clone, Debug)]
 pub struct Graph {
     n: usize,
     fwd_off: Vec<usize>,
     fwd_dst: Vec<NodeId>,
     fwd_prob: Vec<f64>,
-    rev_off: Vec<usize>,
-    rev_src: Vec<NodeId>,
-    rev_prob: Vec<f64>,
-    /// For reverse slot `i`, the forward edge index of the same edge.
-    rev_edge_id: Vec<u32>,
+    rev: std::sync::OnceLock<RevCsr>,
 }
 
 impl Graph {
@@ -40,43 +72,28 @@ impl Graph {
         fwd_dst: Vec<NodeId>,
         fwd_prob: Vec<f64>,
     ) -> Self {
-        let m = fwd_dst.len();
         debug_assert_eq!(fwd_off.len(), n + 1);
-        debug_assert_eq!(fwd_prob.len(), m);
-
-        // Build the reverse CSR with a counting pass.
-        let mut rev_off = vec![0usize; n + 1];
-        for &v in &fwd_dst {
-            rev_off[v as usize + 1] += 1;
-        }
-        for i in 0..n {
-            rev_off[i + 1] += rev_off[i];
-        }
-        let mut cursor = rev_off.clone();
-        let mut rev_src = vec![0 as NodeId; m];
-        let mut rev_prob = vec![0.0f64; m];
-        let mut rev_edge_id = vec![0u32; m];
-        for u in 0..n {
-            for e in fwd_off[u]..fwd_off[u + 1] {
-                let v = fwd_dst[e] as usize;
-                let slot = cursor[v];
-                cursor[v] += 1;
-                rev_src[slot] = u as NodeId;
-                rev_prob[slot] = fwd_prob[e];
-                rev_edge_id[slot] = u32_of(e);
-            }
-        }
-
+        debug_assert_eq!(fwd_prob.len(), fwd_dst.len());
         Graph {
             n,
             fwd_off,
             fwd_dst,
             fwd_prob,
-            rev_off,
-            rev_src,
-            rev_prob,
-            rev_edge_id,
+            rev: std::sync::OnceLock::new(),
         }
+    }
+
+    /// The reverse CSR, built on first use.
+    #[inline]
+    fn rev(&self) -> &RevCsr {
+        self.rev
+            .get_or_init(|| build_reverse(self.n, &self.fwd_off, &self.fwd_dst, &self.fwd_prob))
+    }
+
+    /// Raw forward-CSR columns `(offsets, targets, probabilities)` for the
+    /// snapshot encoder. Crate-private: the slices expose internal layout.
+    pub(crate) fn csr_columns(&self) -> (&[usize], &[NodeId], &[f64]) {
+        (&self.fwd_off, &self.fwd_dst, &self.fwd_prob)
     }
 
     /// Number of nodes `n`.
@@ -102,7 +119,8 @@ impl Graph {
     #[inline]
     pub fn in_degree(&self, v: NodeId) -> usize {
         let v = v as usize;
-        self.rev_off[v + 1] - self.rev_off[v]
+        let rev = self.rev();
+        rev.off[v + 1] - rev.off[v]
     }
 
     /// Outgoing neighbors of `u` with propagation probabilities, sorted by id.
@@ -132,13 +150,10 @@ impl Graph {
     #[inline]
     pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64, u32)> + '_ {
         let v = v as usize;
-        let r = self.rev_off[v]..self.rev_off[v + 1];
-        self.rev_src[r.clone()]
+        let rev = self.rev();
+        rev.adj[rev.off[v]..rev.off[v + 1]]
             .iter()
-            .copied()
-            .zip(self.rev_prob[r.clone()].iter().copied())
-            .zip(self.rev_edge_id[r].iter().copied())
-            .map(|((u, p), e)| (u, p, e))
+            .map(|&(u, e, p)| (u, p, e))
     }
 
     /// Probability attached to forward edge index `e`.
@@ -192,13 +207,97 @@ impl Graph {
         Graph::from_csr(self.n, self.fwd_off.clone(), self.fwd_dst.clone(), fwd_prob)
     }
 
-    /// Memory footprint of the CSR arrays in bytes (diagnostics).
+    /// Memory footprint of the CSR arrays in bytes (diagnostics). Counts the
+    /// reverse CSR as if materialized — its size is implied by `n` and `m` —
+    /// so the figure is deterministic regardless of whether a reverse
+    /// traversal has happened yet.
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
         self.fwd_off.len() * size_of::<usize>() * 2
             + self.fwd_dst.len()
                 * (size_of::<NodeId>() * 2 + size_of::<f64>() * 2 + size_of::<u32>())
     }
+}
+
+/// Builds the reverse CSR from forward columns: a counting pass, a prefix
+/// sum, then the scatter. Above [`MIN_PARALLEL_EDGES`] the target-id space is
+/// split into contiguous ranges of roughly equal in-edge mass and each worker
+/// scatters only its own range into its own disjoint slice of the record
+/// array — slot positions are a pure function of the input, so the result is
+/// bit-identical for every worker count.
+fn build_reverse(n: usize, fwd_off: &[usize], fwd_dst: &[NodeId], fwd_prob: &[f64]) -> RevCsr {
+    let m = fwd_dst.len();
+    let mut off = vec![0usize; n + 1];
+    for &v in fwd_dst {
+        off[v as usize + 1] += 1;
+    }
+    for i in 0..n {
+        off[i + 1] += off[i];
+    }
+    let mut adj: Vec<(NodeId, u32, f64)> = vec![(0, 0, 0.0); m];
+    let workers = build_workers(m);
+    if workers <= 1 {
+        scatter_reverse(0, n, fwd_off, fwd_dst, fwd_prob, &off, &mut adj);
+    } else {
+        let bounds = balance_bounds(&off, workers);
+        std::thread::scope(|scope| {
+            let mut rest: &mut [(NodeId, u32, f64)] = &mut adj;
+            for w in 0..workers {
+                let (vlo, vhi) = (bounds[w], bounds[w + 1]);
+                let (mine, tail) = rest.split_at_mut(off[vhi] - off[vlo]);
+                rest = tail;
+                let off = &off;
+                scope.spawn(move || {
+                    scatter_reverse(vlo, vhi, fwd_off, fwd_dst, fwd_prob, off, mine);
+                });
+            }
+        });
+    }
+    RevCsr { off, adj }
+}
+
+/// Scatters every forward edge whose target falls in `[vlo, vhi)` into `out`,
+/// which covers reverse slots `[rev_off[vlo], rev_off[vhi])`. Slot positions
+/// depend only on the input arrays (forward order within each target), so
+/// concurrent workers on disjoint ranges reproduce the sequential result.
+fn scatter_reverse(
+    vlo: usize,
+    vhi: usize,
+    fwd_off: &[usize],
+    fwd_dst: &[NodeId],
+    fwd_prob: &[f64],
+    rev_off: &[usize],
+    out: &mut [(NodeId, u32, f64)],
+) {
+    let base = rev_off[vlo];
+    let mut cursor: Vec<usize> = rev_off[vlo..vhi].to_vec();
+    let n = fwd_off.len() - 1;
+    for u in 0..n {
+        for e in fwd_off[u]..fwd_off[u + 1] {
+            let v = fwd_dst[e] as usize;
+            if (vlo..vhi).contains(&v) {
+                let slot = cursor[v - vlo];
+                cursor[v - vlo] += 1;
+                out[slot - base] = (u as NodeId, u32_of(e), fwd_prob[e]);
+            }
+        }
+    }
+}
+
+/// Splits the target-id space `[0, n)` into `workers` contiguous ranges of
+/// roughly equal in-edge mass, returning the `workers + 1` boundary ids.
+fn balance_bounds(rev_off: &[usize], workers: usize) -> Vec<usize> {
+    let n = rev_off.len() - 1;
+    let m = rev_off[n];
+    let mut bounds = Vec::with_capacity(workers + 1);
+    bounds.push(0usize);
+    for w in 1..workers {
+        let target = m * w / workers;
+        let v = rev_off.partition_point(|&o| o < target).min(n);
+        bounds.push(v.max(bounds[w - 1]));
+    }
+    bounds.push(n);
+    bounds
 }
 
 #[cfg(test)]

@@ -15,8 +15,66 @@ pub enum GraphError {
     SelfLoop { u: u32 },
     /// An input file could not be parsed.
     Parse { line: usize, message: String },
+    /// A `.smg` snapshot failed to decode. See [`StoreError`].
+    Store(StoreError),
     /// An underlying I/O failure.
     Io(String),
+}
+
+/// Errors produced while decoding a `.smg` binary CSR snapshot.
+///
+/// Each corruption class maps to its own variant so callers (and tests) can
+/// distinguish "wrong file type" from "damaged file" from "file from a newer
+/// tool" without string matching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// The first 8 bytes are not the `.smg` magic.
+    BadMagic,
+    /// The header declares a format version this build cannot read.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// The file ended before a section was fully read.
+    Truncated { section: &'static str },
+    /// A section's stored CRC32 does not match the bytes on disk.
+    ChecksumMismatch {
+        section: &'static str,
+        stored: u32,
+        computed: u32,
+    },
+    /// The sections decoded but violate a structural invariant
+    /// (non-monotone offsets, out-of-range target, bad probability, …).
+    Malformed { message: String },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::BadMagic => write!(f, "not a .smg graph snapshot (bad magic)"),
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is newer than supported version {supported}"
+            ),
+            StoreError::Truncated { section } => {
+                write!(f, "snapshot truncated while reading {section}")
+            }
+            StoreError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch in {section}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            StoreError::Malformed { message } => write!(f, "malformed snapshot: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<StoreError> for GraphError {
+    fn from(e: StoreError) -> Self {
+        GraphError::Store(e)
+    }
 }
 
 impl fmt::Display for GraphError {
@@ -33,6 +91,7 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
+            GraphError::Store(e) => write!(f, "snapshot error: {e}"),
             GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }

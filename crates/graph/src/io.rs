@@ -12,7 +12,7 @@ use crate::error::GraphError;
 use crate::{DedupPolicy, GraphBuilder};
 // smin-lint: allow(no-hash-iteration) -- relabel map below is lookup-only; ids follow first appearance
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// An edge list with dense node ids plus the mapping back to original labels.
@@ -44,19 +44,45 @@ impl EdgeList {
     }
 }
 
+/// Extracts `(nodes, edges)` counts from a SNAP-style size comment such as
+/// `# Nodes: 75879 Edges: 508837`. Counts are advisory (used only to pre-size
+/// buffers), so anything unparsable yields `None` rather than an error.
+fn snap_size_hint(comment: &str) -> Option<(usize, usize)> {
+    let mut nodes = None;
+    let mut edges = None;
+    let mut it = comment.split_whitespace().peekable();
+    while let Some(tok) = it.next() {
+        let slot = match tok.trim_end_matches(':') {
+            "Nodes" => &mut nodes,
+            "Edges" => &mut edges,
+            _ => continue,
+        };
+        if let Some(count) = it.peek().and_then(|next| next.parse::<usize>().ok()) {
+            *slot = Some(count);
+            it.next();
+        }
+    }
+    Some((nodes?, edges?))
+}
+
 /// Parses an edge list from any reader.
+///
+/// SNAP-style size headers (`# Nodes: N Edges: M`) are recognized and used to
+/// pre-size the interning map and edge buffer, so multi-million-edge SNAP
+/// downloads parse without reallocation churn.
 pub fn read_edge_list(reader: impl Read) -> Result<EdgeList, GraphError> {
     let reader = BufReader::new(reader);
     // smin-lint: allow(no-hash-iteration) -- entry-lookup only, never iterated
     let mut relabel: HashMap<u64, NodeId> = HashMap::new();
     let mut original_label: Vec<u64> = Vec::new();
     let mut edges = Vec::new();
+    let mut sized = false;
 
     // smin-lint: allow(no-hash-iteration) -- entry-lookup only, never iterated
-    let mut intern = |raw: u64, relabel: &mut HashMap<u64, NodeId>| -> NodeId {
+    let intern = |raw: u64, relabel: &mut HashMap<u64, NodeId>, labels: &mut Vec<u64>| -> NodeId {
         *relabel.entry(raw).or_insert_with(|| {
-            let id: NodeId = u32_of(original_label.len());
-            original_label.push(raw);
+            let id: NodeId = u32_of(labels.len());
+            labels.push(raw);
             id
         })
     };
@@ -65,6 +91,14 @@ pub fn read_edge_list(reader: impl Read) -> Result<EdgeList, GraphError> {
         let line = line?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            if !sized {
+                if let Some((n_hint, m_hint)) = snap_size_hint(line) {
+                    relabel.reserve(n_hint);
+                    original_label.reserve(n_hint);
+                    edges.reserve(m_hint);
+                    sized = true;
+                }
+            }
             continue;
         }
         let mut it = line.split_whitespace();
@@ -88,8 +122,8 @@ pub fn read_edge_list(reader: impl Read) -> Result<EdgeList, GraphError> {
             })?),
             None => None,
         };
-        let u = intern(u, &mut relabel);
-        let v = intern(v, &mut relabel);
+        let u = intern(u, &mut relabel, &mut original_label);
+        let v = intern(v, &mut relabel, &mut original_label);
         edges.push((u, v, p));
     }
 
@@ -171,6 +205,33 @@ pub fn write_binary_path(g: &Graph, path: impl AsRef<Path>) -> Result<(), GraphE
 pub fn read_binary_path(path: impl AsRef<Path>) -> Result<Graph, GraphError> {
     let file = std::fs::File::open(path)?;
     read_binary(BufReader::new(file))
+}
+
+/// Loads a graph from a file of any supported format, sniffing content rather
+/// than trusting the extension: `.smg` snapshots (magic `\x89SMG\r\n\x1a\n`),
+/// the legacy `SMING001` edge-dump binary, or a text edge list (directed,
+/// default probability `default_p` where a line omits one).
+pub fn load_auto(path: impl AsRef<Path>, default_p: f64) -> Result<Graph, GraphError> {
+    let mut file = std::fs::File::open(path)?;
+    let mut magic = [0u8; 8];
+    let mut got = 0usize;
+    while got < magic.len() {
+        match file.read(&mut magic[got..]) {
+            Ok(0) => break,
+            Ok(k) => got += k,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    file.seek(SeekFrom::Start(0))?;
+    let head = &magic[..got];
+    if head == crate::store::SMG_MAGIC {
+        crate::store::read_smg(BufReader::new(file))
+    } else if head == BINARY_MAGIC {
+        read_binary(BufReader::new(file))
+    } else {
+        read_edge_list(file)?.into_graph(true, default_p)
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +366,68 @@ mod tests {
             Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn snap_size_header_is_parsed_and_harmless() {
+        // The canonical SNAP banner; counts only pre-size buffers, so a file
+        // whose header over- or under-counts must still parse correctly.
+        let input = "# Directed graph (each unordered pair of nodes is saved once)\n\
+                     # Nodes: 4 Edges: 3\n10 20\n20 30\n10 30\n";
+        let el = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(el.n, 3);
+        assert_eq!(el.edges.len(), 3);
+    }
+
+    #[test]
+    fn snap_size_hint_variants() {
+        assert_eq!(
+            snap_size_hint("# Nodes: 75879 Edges: 508837"),
+            Some((75879, 508837))
+        );
+        assert_eq!(snap_size_hint("# Nodes: 5"), None);
+        assert_eq!(snap_size_hint("# Edges: 5"), None);
+        assert_eq!(snap_size_hint("# Nodes: banana Edges: 3"), None);
+        assert_eq!(snap_size_hint("# FromNodeId ToNodeId"), None);
+    }
+
+    #[test]
+    fn load_auto_sniffs_all_three_formats() {
+        let g = read_edge_list("0 1 0.5\n1 2 0.25\n".as_bytes())
+            .unwrap()
+            .into_graph(true, 1.0)
+            .unwrap();
+        let dir = std::env::temp_dir().join("smin_io_load_auto");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Deliberately misleading extensions: content sniffing must win.
+        let text = dir.join("graph.smg");
+        std::fs::write(&text, "0 1 0.5\n1 2 0.25\n").unwrap();
+        let legacy = dir.join("graph.txt");
+        write_binary_path(&g, &legacy).unwrap();
+        let smg = dir.join("graph.bin");
+        crate::store::write_smg_path(&g, &smg).unwrap();
+
+        let want: Vec<_> = g.edges().collect();
+        for path in [&text, &legacy, &smg] {
+            let loaded = load_auto(path, 1.0).unwrap();
+            assert_eq!(loaded.edges().collect::<Vec<_>>(), want, "path {path:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_auto_short_file_falls_back_to_text() {
+        // A file shorter than any magic must be treated as a text edge list.
+        let dir = std::env::temp_dir().join("smin_io_load_auto_short");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.txt");
+        std::fs::write(&path, "0 1\n").unwrap();
+        let g = load_auto(&path, 0.5).unwrap();
+        assert_eq!(g.m(), 1);
+        let (_, p) = g.out_edges(0).next().unwrap();
+        assert_eq!(p, 0.5);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

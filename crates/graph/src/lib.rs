@@ -13,7 +13,10 @@
 //! * [`generators`] — synthetic social-network generators (directed
 //!   Chung–Lu power law, Barabási–Albert, Erdős–Rényi, Watts–Strogatz) used as
 //!   stand-ins for the SNAP datasets of the evaluation;
-//! * [`io`] — SNAP-compatible edge-list reading/writing;
+//! * [`io`] — SNAP-compatible edge-list reading/writing plus format-sniffing
+//!   [`io::load_auto`];
+//! * [`store`] — the versioned `.smg` binary CSR snapshot format (checksummed
+//!   sections, deterministic encode, millisecond loads);
 //! * [`components`] / [`degree`] — the statistics reported in Table 2 and
 //!   Figure 3;
 //! * [`stamp`] / [`bitset`] — reusable membership scratch shared by the
@@ -33,6 +36,7 @@ pub mod generators;
 pub mod io;
 pub mod ops;
 pub mod stamp;
+pub mod store;
 pub mod topics;
 pub mod weights;
 
@@ -40,6 +44,6 @@ pub use bitset::FixedBitSet;
 pub use builder::{DedupPolicy, GraphBuilder};
 pub use cast::u32_of;
 pub use csr::{Graph, NodeId};
-pub use error::GraphError;
+pub use error::{GraphError, StoreError};
 pub use stamp::GenStamp;
 pub use weights::WeightModel;

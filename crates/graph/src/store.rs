@@ -1,0 +1,793 @@
+//! Versioned binary CSR snapshot format (`.smg`).
+//!
+//! A snapshot is one checksummed artifact that can be copied between machines
+//! and opened in milliseconds: the forward CSR columns are written verbatim so
+//! loading is `read_exact` + validation instead of text parsing, relabelling,
+//! and sorting. The layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size        field
+//! ------  ----        -----
+//!      0     8        magic  89 'S' 'M' 'G' 0D 0A 1A 0A
+//!      8     4        format version (currently 1)
+//!     12     4        flags (must be 0 in version 1)
+//!     16     8        n  (node count)
+//!     24     8        m  (edge count)
+//!     32     4        CRC32 of the offsets section
+//!     36     4        CRC32 of the targets section
+//!     40     4        CRC32 of the probabilities section
+//!     44     4        CRC32 of header bytes [0, 44)
+//!     48    16        reserved (zero)
+//!     64  (n+1)*8     offsets:       fwd_off as u64
+//!      …   m*4 (+pad) targets:       fwd_dst as u32, zero-padded to 8 bytes
+//!      …   m*8        probabilities: fwd_prob as f64
+//! ```
+//!
+//! The PNG-style magic (high bit set, embedded CR LF, ^Z, LF) catches text-mode
+//! transfers and truncation-by-EOF corruption at byte 0. Every section carries
+//! its own CRC32 (IEEE polynomial) so damage is attributed to a section, and
+//! the targets column is padded to an 8-byte boundary so all three columns are
+//! naturally aligned — a future mmap path on real hardware can reinterpret the
+//! file in place without a repack.
+//!
+//! Encoding is deterministic: the same graph always produces byte-identical
+//! snapshots, so `.smg` files can be compared with `cmp` and content-addressed
+//! by [`content_checksum`].
+
+use crate::csr::{Graph, NodeId};
+use crate::error::{GraphError, StoreError};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// First 8 bytes of every `.smg` file.
+pub const SMG_MAGIC: [u8; 8] = [0x89, b'S', b'M', b'G', 0x0D, 0x0A, 0x1A, 0x0A];
+
+/// Format version written by this build (and the newest it can read).
+pub const SMG_VERSION: u32 = 1;
+
+/// Fixed header size in bytes; the offsets section starts here.
+pub const SMG_HEADER_LEN: usize = 64;
+
+/// Slicing-by-16 lookup tables. `tables[0]` is the classic byte-at-a-time
+/// table; `tables[j]` advances a byte through `j` extra zero bytes, letting
+/// [`Crc32::update`] fold 16 input bytes per iteration (roughly an order of
+/// magnitude over the byte loop, which is what makes
+/// checksum-on-every-load affordable on multi-million-edge snapshots).
+const fn crc32_tables() -> [[u32; 256]; 16] {
+    let mut tables = [[0u32; 256]; 16];
+    let mut i = 0usize;
+    while i < 256 {
+        // smin-lint: allow(checked-cast) -- i < 256 always fits; const fn cannot call u32_of
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        tables[0][i] = c;
+        i += 1;
+    }
+    let mut j = 1usize;
+    while j < 16 {
+        let mut i = 0usize;
+        while i < 256 {
+            let prev = tables[j - 1][i];
+            tables[j][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        j += 1;
+    }
+    tables
+}
+
+const CRC_TABLES: [[u32; 256]; 16] = crc32_tables();
+
+/// Streaming CRC32 (IEEE 802.3 polynomial, the zlib/PNG variant).
+struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        let t = &CRC_TABLES;
+        let mut c = self.state;
+        let mut chunks = bytes.chunks_exact(16);
+        for ch in &mut chunks {
+            let w0 = c ^ u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]);
+            let w1 = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+            let w2 = u32::from_le_bytes([ch[8], ch[9], ch[10], ch[11]]);
+            let w3 = u32::from_le_bytes([ch[12], ch[13], ch[14], ch[15]]);
+            c = t[15][(w0 & 0xFF) as usize]
+                ^ t[14][((w0 >> 8) & 0xFF) as usize]
+                ^ t[13][((w0 >> 16) & 0xFF) as usize]
+                ^ t[12][((w0 >> 24) & 0xFF) as usize]
+                ^ t[11][(w1 & 0xFF) as usize]
+                ^ t[10][((w1 >> 8) & 0xFF) as usize]
+                ^ t[9][((w1 >> 16) & 0xFF) as usize]
+                ^ t[8][((w1 >> 24) & 0xFF) as usize]
+                ^ t[7][(w2 & 0xFF) as usize]
+                ^ t[6][((w2 >> 8) & 0xFF) as usize]
+                ^ t[5][((w2 >> 16) & 0xFF) as usize]
+                ^ t[4][((w2 >> 24) & 0xFF) as usize]
+                ^ t[3][(w3 & 0xFF) as usize]
+                ^ t[2][((w3 >> 8) & 0xFF) as usize]
+                ^ t[1][((w3 >> 16) & 0xFF) as usize]
+                ^ t[0][((w3 >> 24) & 0xFF) as usize];
+        }
+        for &b in chunks.remainder() {
+            c = t[0][((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+/// CRC32 of a byte slice (IEEE polynomial). Exposed for tests and tools that
+/// need to recompute section checksums.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// Decoded `.smg` header. Obtainable without reading the column sections via
+/// [`read_smg_header`], which is what `asm inspect` prints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SmgHeader {
+    /// Format version of the file.
+    pub version: u32,
+    /// Feature flags (must be 0 in version 1).
+    pub flags: u32,
+    /// Node count.
+    pub n: u64,
+    /// Edge count.
+    pub m: u64,
+    /// CRC32 of the offsets section.
+    pub crc_off: u32,
+    /// CRC32 of the targets section (including alignment padding).
+    pub crc_dst: u32,
+    /// CRC32 of the probabilities section.
+    pub crc_prob: u32,
+    /// CRC32 of header bytes `[0, 44)`.
+    pub crc_header: u32,
+}
+
+impl SmgHeader {
+    /// Content checksum of the snapshot, derivable from the header alone:
+    /// FNV-1a over `(n, m, crc_off, crc_dst, crc_prob)`. Equal to
+    /// [`content_checksum`] of the decoded graph, so a registry can verify a
+    /// snapshot's identity from its first 64 bytes.
+    pub fn content_checksum(&self) -> u64 {
+        fnv1a_fold(self.n, self.m, self.crc_off, self.crc_dst, self.crc_prob)
+    }
+
+    /// Total file size implied by the header, in bytes.
+    pub fn file_len(&self) -> u64 {
+        let dst = self.m * 4;
+        let pad = dst_padding_u64(self.m);
+        SMG_HEADER_LEN as u64 + (self.n + 1) * 8 + dst + pad + self.m * 8
+    }
+}
+
+fn fnv1a_fold(n: u64, m: u64, crc_off: u32, crc_dst: u32, crc_prob: u32) -> u64 {
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = BASIS;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(&n.to_le_bytes());
+    eat(&m.to_le_bytes());
+    eat(&crc_off.to_le_bytes());
+    eat(&crc_dst.to_le_bytes());
+    eat(&crc_prob.to_le_bytes());
+    h
+}
+
+/// Zero bytes appended to the targets section so the probabilities column
+/// starts on an 8-byte boundary.
+fn dst_padding(m: usize) -> usize {
+    (8 - (m * 4) % 8) % 8
+}
+
+fn dst_padding_u64(m: u64) -> u64 {
+    (8 - (m * 4) % 8) % 8
+}
+
+/// Content checksum of a graph: FNV-1a over `(n, m)` and the three section
+/// CRCs of its canonical snapshot encoding. Two graphs have equal checksums
+/// iff their `.smg` encodings are byte-identical, and the same value can be
+/// recovered from a snapshot header without decoding the columns.
+pub fn content_checksum(g: &Graph) -> u64 {
+    let (crc_off, crc_dst, crc_prob) = section_crcs(g);
+    fnv1a_fold(g.n() as u64, g.m() as u64, crc_off, crc_dst, crc_prob)
+}
+
+/// Computes the three section CRCs by streaming the encode passes without
+/// materializing the file.
+fn section_crcs(g: &Graph) -> (u32, u32, u32) {
+    let (off, dst, prob) = g.csr_columns();
+
+    let mut c = Crc32::new();
+    for &o in off {
+        c.update(&(o as u64).to_le_bytes());
+    }
+    let crc_off = c.finish();
+
+    let mut c = Crc32::new();
+    for &d in dst {
+        c.update(&d.to_le_bytes());
+    }
+    c.update(&[0u8; 8][..dst_padding(dst.len())]);
+    let crc_dst = c.finish();
+
+    let mut c = Crc32::new();
+    for &p in prob {
+        c.update(&p.to_le_bytes());
+    }
+    let crc_prob = c.finish();
+
+    (crc_off, crc_dst, crc_prob)
+}
+
+/// Writes a graph as a `.smg` snapshot. The encoding is deterministic: equal
+/// graphs produce byte-identical output.
+pub fn write_smg(g: &Graph, mut writer: impl Write) -> Result<(), GraphError> {
+    let (off, dst, prob) = g.csr_columns();
+    let (crc_off, crc_dst, crc_prob) = section_crcs(g);
+
+    let mut header = [0u8; SMG_HEADER_LEN];
+    header[0..8].copy_from_slice(&SMG_MAGIC);
+    header[8..12].copy_from_slice(&SMG_VERSION.to_le_bytes());
+    // flags [12..16) stay zero in version 1
+    header[16..24].copy_from_slice(&(g.n() as u64).to_le_bytes());
+    header[24..32].copy_from_slice(&(g.m() as u64).to_le_bytes());
+    header[32..36].copy_from_slice(&crc_off.to_le_bytes());
+    header[36..40].copy_from_slice(&crc_dst.to_le_bytes());
+    header[40..44].copy_from_slice(&crc_prob.to_le_bytes());
+    let crc_header = crc32(&header[0..44]);
+    header[44..48].copy_from_slice(&crc_header.to_le_bytes());
+    writer.write_all(&header)?;
+
+    for &o in off {
+        writer.write_all(&(o as u64).to_le_bytes())?;
+    }
+    for &d in dst {
+        writer.write_all(&d.to_le_bytes())?;
+    }
+    writer.write_all(&[0u8; 8][..dst_padding(dst.len())])?;
+    for &p in prob {
+        writer.write_all(&p.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Fills `buf` from the reader, attributing an early EOF to `section`.
+fn read_section(
+    reader: &mut impl Read,
+    buf: &mut [u8],
+    section: &'static str,
+) -> Result<(), GraphError> {
+    reader.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            GraphError::Store(StoreError::Truncated { section })
+        } else {
+            GraphError::from(e)
+        }
+    })
+}
+
+/// Parses and validates a raw 64-byte header. Validation order matters:
+/// magic first (is this even a `.smg`?), then version (a future version may
+/// legitimately have a different header layout, so its CRC must not be
+/// checked against version-1 rules), then flags and the header CRC.
+fn parse_header(raw: &[u8; SMG_HEADER_LEN]) -> Result<SmgHeader, StoreError> {
+    let word4 = |at: usize| -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&raw[at..at + 4]);
+        u32::from_le_bytes(b)
+    };
+    let word8 = |at: usize| -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&raw[at..at + 8]);
+        u64::from_le_bytes(b)
+    };
+
+    if raw[0..8] != SMG_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = word4(8);
+    if version != SMG_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: SMG_VERSION,
+        });
+    }
+    let stored = word4(44);
+    let computed = crc32(&raw[0..44]);
+    if stored != computed {
+        return Err(StoreError::ChecksumMismatch {
+            section: "header",
+            stored,
+            computed,
+        });
+    }
+    let flags = word4(12);
+    if flags != 0 {
+        return Err(StoreError::Malformed {
+            message: format!("unknown flags {flags:#010x} in version 1 snapshot"),
+        });
+    }
+    if raw[48..64].iter().any(|&b| b != 0) {
+        return Err(StoreError::Malformed {
+            message: "reserved header bytes are not zero".to_string(),
+        });
+    }
+    Ok(SmgHeader {
+        version,
+        flags,
+        n: word8(16),
+        m: word8(24),
+        crc_off: word4(32),
+        crc_dst: word4(36),
+        crc_prob: word4(40),
+        crc_header: stored,
+    })
+}
+
+/// Reads the raw 64-byte header, checking the magic as soon as its 8 bytes
+/// arrive so a wrong file type (even one shorter than a header) reports
+/// [`StoreError::BadMagic`] rather than a confusing truncation.
+fn read_header_raw(reader: &mut impl Read) -> Result<[u8; SMG_HEADER_LEN], GraphError> {
+    let mut raw = [0u8; SMG_HEADER_LEN];
+    read_section(reader, &mut raw[..8], "header")?;
+    if raw[0..8] != SMG_MAGIC {
+        return Err(GraphError::Store(StoreError::BadMagic));
+    }
+    read_section(reader, &mut raw[8..], "header")?;
+    Ok(raw)
+}
+
+/// Reads and validates only the 64-byte header — what `asm inspect` prints.
+pub fn read_smg_header(mut reader: impl Read) -> Result<SmgHeader, GraphError> {
+    let raw = read_header_raw(&mut reader)?;
+    parse_header(&raw).map_err(GraphError::Store)
+}
+
+/// Reads a `.smg` snapshot, verifying every checksum and structural invariant
+/// before handing back a [`Graph`]. Streaming wrapper over
+/// [`read_smg_bytes`]; prefer [`read_smg_path`] for files (it reads with a
+/// size hint and decodes without intermediate copies).
+pub fn read_smg(mut reader: impl Read) -> Result<Graph, GraphError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    read_smg_bytes(&bytes)
+}
+
+/// Decodes a `.smg` snapshot already in memory. The column sections are
+/// CRC-verified and decoded straight out of `bytes` — no per-section buffer
+/// allocation or copying — which is what keeps a cold load dominated by the
+/// unavoidable O(m) decode rather than bookkeeping.
+pub fn read_smg_bytes(bytes: &[u8]) -> Result<Graph, GraphError> {
+    let truncated = |section: &'static str| GraphError::Store(StoreError::Truncated { section });
+    // Magic is checked as soon as its 8 bytes are available so a wrong file
+    // type (even one shorter than a header) reports BadMagic rather than a
+    // confusing truncation.
+    if bytes.len() < 8 {
+        return Err(truncated("header"));
+    }
+    if bytes[0..8] != SMG_MAGIC {
+        return Err(GraphError::Store(StoreError::BadMagic));
+    }
+    if bytes.len() < SMG_HEADER_LEN {
+        return Err(truncated("header"));
+    }
+    let mut raw = [0u8; SMG_HEADER_LEN];
+    raw.copy_from_slice(&bytes[..SMG_HEADER_LEN]);
+    let h = parse_header(&raw).map_err(GraphError::Store)?;
+
+    if h.n > u64::from(u32::MAX) || h.m > u64::from(u32::MAX) {
+        return Err(GraphError::Store(StoreError::Malformed {
+            message: format!("n={} m={} exceed the u32 id space", h.n, h.m),
+        }));
+    }
+    let n = h.n as usize;
+    let m = h.m as usize;
+
+    let off_start = SMG_HEADER_LEN;
+    let dst_start = off_start + (n + 1) * 8;
+    let prob_start = dst_start + m * 4 + dst_padding(m);
+    let total = prob_start + m * 8;
+    let section = |start: usize, end: usize, name: &'static str| -> Result<&[u8], GraphError> {
+        bytes.get(start..end).ok_or(truncated(name))
+    };
+    let off_bytes = section(off_start, dst_start, "offsets")?;
+    let dst_bytes = section(dst_start, prob_start, "targets")?;
+    let prob_bytes = section(prob_start, total, "probabilities")?;
+    // The snapshot must end exactly at the probabilities section.
+    if bytes.len() > total {
+        return Err(GraphError::Store(StoreError::Malformed {
+            message: "trailing bytes after the probabilities section".to_string(),
+        }));
+    }
+
+    let verify = |section: &'static str, stored: u32, data: &[u8]| -> Result<(), GraphError> {
+        let computed = crc32(data);
+        if computed != stored {
+            return Err(GraphError::Store(StoreError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            }));
+        }
+        Ok(())
+    };
+    let malformed = |message: String| GraphError::Store(StoreError::Malformed { message });
+
+    // Each section is CRC-verified, decoded, and locally validated by its own
+    // task; above MIN_PARALLEL_EDGES the three tasks run on scoped threads
+    // (the work is independent per section). Errors surface in the fixed
+    // order offsets → targets → probabilities regardless of which task
+    // finished first, so failures are deterministic too. CRC failures mean
+    // transit damage; the structural checks catch files that were *encoded*
+    // wrong.
+    let decode_off = || -> Result<Vec<usize>, GraphError> {
+        verify("offsets", h.crc_off, off_bytes)?;
+        let fwd_off: Vec<usize> = off_bytes
+            .chunks_exact(8)
+            .map(|ch| u64::from_le_bytes(ch.try_into().expect("8-byte chunk")) as usize)
+            .collect();
+        if fwd_off.first() != Some(&0) {
+            return Err(malformed("offsets do not start at 0".to_string()));
+        }
+        if fwd_off.last() != Some(&m) {
+            return Err(malformed(format!("final offset is not the edge count {m}")));
+        }
+        // Monotone + ending at m also bounds every offset by m.
+        if fwd_off.windows(2).any(|w| w[0] > w[1]) {
+            return Err(malformed(
+                "offsets are not monotonically increasing".to_string(),
+            ));
+        }
+        Ok(fwd_off)
+    };
+    let decode_dst = || -> Result<(Vec<NodeId>, usize), GraphError> {
+        verify("targets", h.crc_dst, dst_bytes)?;
+        let fwd_dst: Vec<NodeId> = dst_bytes[..m * 4]
+            .chunks_exact(4)
+            .map(|ch| u32::from_le_bytes(ch.try_into().expect("4-byte chunk")))
+            .collect();
+        if dst_bytes[m * 4..].iter().any(|&b| b != 0) {
+            return Err(malformed("alignment padding is not zero".to_string()));
+        }
+        if let Some(&v) = fwd_dst.iter().find(|&&v| u64::from(v) >= h.n) {
+            return Err(malformed(format!("edge target {v} out of range for n={n}")));
+        }
+        // Descent count for the strictly-sorted check below: how many
+        // positions fail to increase over their predecessor. Computed here so
+        // it rides the targets task (cache-hot, and off the critical path
+        // when the section tasks run on threads).
+        let descents = fwd_dst.windows(2).filter(|w| w[0] >= w[1]).count();
+        Ok((fwd_dst, descents))
+    };
+    let decode_prob = || -> Result<Vec<f64>, GraphError> {
+        verify("probabilities", h.crc_prob, prob_bytes)?;
+        let fwd_prob: Vec<f64> = prob_bytes
+            .chunks_exact(8)
+            .map(|ch| f64::from_le_bytes(ch.try_into().expect("8-byte chunk")))
+            .collect();
+        if let Some(&p) = fwd_prob.iter().find(|&&p| !(p > 0.0 && p <= 1.0)) {
+            return Err(malformed(format!("probability {p} outside (0, 1]")));
+        }
+        Ok(fwd_prob)
+    };
+    let (off_res, dst_res, prob_res) = if crate::csr::build_workers(m) > 1 {
+        std::thread::scope(|scope| {
+            let dst_task = scope.spawn(decode_dst);
+            let prob_task = scope.spawn(decode_prob);
+            (
+                decode_off(),
+                dst_task.join().expect("targets decode task panicked"),
+                prob_task
+                    .join()
+                    .expect("probabilities decode task panicked"),
+            )
+        })
+    } else {
+        (decode_off(), decode_dst(), decode_prob())
+    };
+    let (fwd_off, (fwd_dst, descents), fwd_prob) = (off_res?, dst_res?, prob_res?);
+
+    // Adjacency lists must be sorted strictly (sorted + deduplicated): the
+    // sampling layers binary-search and assume no parallel edges. Needs
+    // offsets and targets together, so it runs after the section tasks join.
+    // Checked as a descent count: the targets task counted every position
+    // where the sequence fails to increase, an O(n) walk here counts how
+    // many of those are list boundaries (where a descent is legal), and the
+    // file is well-formed iff the two counts agree. Only on disagreement does
+    // a slow per-edge pass run to name the offending node.
+    let mut boundary_descents = 0usize;
+    let mut prev_boundary = 0usize;
+    for &e in &fwd_off[1..n.max(1)] {
+        if e != prev_boundary && e < m && fwd_dst[e - 1] >= fwd_dst[e] {
+            boundary_descents += 1;
+        }
+        prev_boundary = e;
+    }
+    if descents != boundary_descents {
+        let mut u = 0usize;
+        for e in 1..m {
+            while e >= fwd_off[u + 1] {
+                u += 1;
+            }
+            if e > fwd_off[u] && fwd_dst[e - 1] >= fwd_dst[e] {
+                return Err(malformed(format!(
+                    "adjacency of node {u} is not strictly sorted"
+                )));
+            }
+        }
+    }
+
+    Ok(Graph::from_csr(n, fwd_off, fwd_dst, fwd_prob))
+}
+
+/// Writes a `.smg` snapshot to a file path (buffered).
+pub fn write_smg_path(g: &Graph, path: impl AsRef<Path>) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    write_smg(g, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a `.smg` snapshot from a file path. The whole file is read in one
+/// size-hinted pass and decoded in place via [`read_smg_bytes`].
+pub fn read_smg_path(path: impl AsRef<Path>) -> Result<Graph, GraphError> {
+    let bytes = std::fs::read(path)?;
+    read_smg_bytes(&bytes)
+}
+
+/// Reads only the header of a `.smg` file.
+pub fn read_smg_header_path(path: impl AsRef<Path>) -> Result<SmgHeader, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_smg_header(BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::read_edge_list;
+
+    fn sample_graph() -> Graph {
+        let input = "0 1 0.5\n0 2 0.25\n1 2 0.75\n2 0 1.0\n3 1 0.125\n";
+        read_edge_list(input.as_bytes())
+            .unwrap()
+            .into_graph(true, 1.0)
+            .unwrap()
+    }
+
+    fn encode(g: &Graph) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        write_smg(g, &mut bytes).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard zlib/PNG check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_weights() {
+        let g = sample_graph();
+        let bytes = encode(&g);
+        let g2 = read_smg(bytes.as_slice()).unwrap();
+        assert_eq!(g.n(), g2.n());
+        assert_eq!(g.m(), g2.m());
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        let g = sample_graph();
+        assert_eq!(encode(&g), encode(&g));
+    }
+
+    #[test]
+    fn sections_are_eight_byte_aligned() {
+        let g = sample_graph();
+        let bytes = encode(&g);
+        let h = read_smg_header(bytes.as_slice()).unwrap();
+        assert_eq!(bytes.len() as u64, h.file_len());
+        assert_eq!(bytes.len() % 8, 0);
+        // Odd edge count exercises the padding path.
+        assert_eq!(g.m() % 2, 1);
+    }
+
+    #[test]
+    fn header_checksum_matches_graph_checksum() {
+        let g = sample_graph();
+        let bytes = encode(&g);
+        let h = read_smg_header(bytes.as_slice()).unwrap();
+        assert_eq!(h.content_checksum(), content_checksum(&g));
+        assert_eq!(h.n, g.n() as u64);
+        assert_eq!(h.m, g.m() as u64);
+    }
+
+    #[test]
+    fn different_weights_change_the_checksum() {
+        let a = read_edge_list("0 1 0.5\n".as_bytes())
+            .unwrap()
+            .into_graph(true, 1.0)
+            .unwrap();
+        let b = read_edge_list("0 1 0.25\n".as_bytes())
+            .unwrap()
+            .into_graph(true, 1.0)
+            .unwrap();
+        assert_ne!(content_checksum(&a), content_checksum(&b));
+    }
+
+    #[test]
+    fn truncated_header_is_detected() {
+        let g = sample_graph();
+        let bytes = encode(&g);
+        let err = read_smg(&bytes[..40]).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::Store(StoreError::Truncated { section: "header" })
+        );
+    }
+
+    #[test]
+    fn truncation_is_attributed_to_the_right_section() {
+        let g = sample_graph();
+        let bytes = encode(&g);
+        let off_end = SMG_HEADER_LEN + (g.n() + 1) * 8;
+        let dst_end = off_end + g.m() * 4 + (8 - (g.m() * 4) % 8) % 8;
+        for (cut, section) in [
+            (SMG_HEADER_LEN + 3, "offsets"),
+            (off_end + 1, "targets"),
+            (dst_end + 5, "probabilities"),
+        ] {
+            let err = read_smg(&bytes[..cut]).unwrap_err();
+            assert_eq!(
+                err,
+                GraphError::Store(StoreError::Truncated { section }),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let g = sample_graph();
+        let mut bytes = encode(&g);
+        bytes[0] ^= 0xFF;
+        assert_eq!(
+            read_smg(bytes.as_slice()).unwrap_err(),
+            GraphError::Store(StoreError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn version_from_the_future_is_rejected() {
+        let g = sample_graph();
+        let mut bytes = encode(&g);
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        // Recompute the header CRC so the *only* problem is the version.
+        let crc = crc32(&bytes[0..44]);
+        bytes[44..48].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            read_smg(bytes.as_slice()).unwrap_err(),
+            GraphError::Store(StoreError::UnsupportedVersion {
+                found: 2,
+                supported: 1
+            })
+        );
+    }
+
+    #[test]
+    fn header_corruption_is_detected() {
+        let g = sample_graph();
+        let mut bytes = encode(&g);
+        bytes[16] ^= 0x01; // flip a bit of n without fixing the header CRC
+        match read_smg(bytes.as_slice()).unwrap_err() {
+            GraphError::Store(StoreError::ChecksumMismatch { section, .. }) => {
+                assert_eq!(section, "header");
+            }
+            other => panic!("expected header checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn section_corruption_is_detected_per_section() {
+        let g = sample_graph();
+        let clean = encode(&g);
+        let off_start = SMG_HEADER_LEN;
+        let dst_start = off_start + (g.n() + 1) * 8;
+        let prob_start = dst_start + g.m() * 4 + (8 - (g.m() * 4) % 8) % 8;
+        for (at, section) in [
+            (off_start + 2, "offsets"),
+            (dst_start, "targets"),
+            (prob_start + 7, "probabilities"),
+        ] {
+            let mut bytes = clean.clone();
+            bytes[at] ^= 0x40;
+            match read_smg(bytes.as_slice()).unwrap_err() {
+                GraphError::Store(StoreError::ChecksumMismatch { section: s, .. }) => {
+                    assert_eq!(s, section, "corrupted byte {at}");
+                }
+                other => panic!("expected {section} checksum mismatch, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn nonzero_flags_are_rejected() {
+        let g = sample_graph();
+        let mut bytes = encode(&g);
+        bytes[12] = 0x01;
+        let crc = crc32(&bytes[0..44]);
+        bytes[44..48].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            read_smg(bytes.as_slice()).unwrap_err(),
+            GraphError::Store(StoreError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let g = sample_graph();
+        let mut bytes = encode(&g);
+        bytes.push(0);
+        assert!(matches!(
+            read_smg(bytes.as_slice()).unwrap_err(),
+            GraphError::Store(StoreError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = crate::GraphBuilder::new(3).build().unwrap();
+        let bytes = encode(&g);
+        let g2 = read_smg(bytes.as_slice()).unwrap();
+        assert_eq!(g2.n(), 3);
+        assert_eq!(g2.m(), 0);
+    }
+
+    #[test]
+    fn header_path_roundtrip() {
+        let g = sample_graph();
+        let dir = std::env::temp_dir().join("smin_store_test_header");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.smg");
+        write_smg_path(&g, &path).unwrap();
+        let h = read_smg_header_path(&path).unwrap();
+        assert_eq!(h.version, SMG_VERSION);
+        assert_eq!(h.content_checksum(), content_checksum(&g));
+        let g2 = read_smg_path(&path).unwrap();
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -8,8 +8,9 @@
 //! own session (a new one is built when the shelf is empty).
 
 use crate::error::ServiceError;
+use serde_json::{json, Value};
 use smin_core::AstiSession;
-use smin_graph::Graph;
+use smin_graph::{store, Graph};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -23,11 +24,16 @@ const MAX_WARM_SESSIONS: usize = 16;
 pub struct GraphEntry {
     /// Registry key.
     pub id: String,
-    /// Registration epoch: distinguishes a re-registered graph under a
-    /// reused id, so response-cache keys can never serve stale results.
+    /// Content checksum of the graph ([`store::content_checksum`]): pins the
+    /// exact registered graph in response-cache keys, and is stable across
+    /// restarts and machines — the same bytes always earn the same token, so
+    /// a warm-restarted server keeps serving its memoized responses.
     pub token: u64,
     /// Where the graph came from (`generated:ba`, `file:web.txt`, …).
     pub source: String,
+    /// State-dir-relative path of the persisted `.smg` snapshot, when the
+    /// server runs with `--state-dir` (e.g. `graphs/web.smg`).
+    pub snapshot: Option<String>,
     pub graph: Arc<Graph>,
     /// Shelf of warm sessions (LIFO: the most recently used — hottest —
     /// session is handed out first).
@@ -86,7 +92,6 @@ impl std::fmt::Debug for GraphEntry {
 #[derive(Default)]
 pub struct Registry {
     entries: BTreeMap<String, Arc<GraphEntry>>,
-    next_token: u64,
     next_auto_id: u64,
 }
 
@@ -95,16 +100,13 @@ impl Registry {
         Registry::default()
     }
 
-    /// Registers a graph under `id` (auto-assigned `g0`, `g1`, … when
-    /// `None`). Rejects an id that is already taken — delete first to
-    /// replace, so a client can never silently swap another client's graph.
-    pub fn register(
-        &mut self,
-        id: Option<String>,
-        graph: Graph,
-        source: String,
-    ) -> Result<Arc<GraphEntry>, ServiceError> {
-        let id = match id {
+    /// Validates a requested id (or auto-assigns `g0`, `g1`, … for `None`)
+    /// and rejects one that is already taken — delete first to replace, so a
+    /// client can never silently swap another client's graph. Callers that
+    /// need the id before registering (to derive a snapshot path) resolve
+    /// first, then call [`Registry::register_resolved`] under the same lock.
+    pub fn resolve_id(&mut self, id: Option<String>) -> Result<String, ServiceError> {
+        match id {
             Some(id) => {
                 if id.is_empty()
                     || !id
@@ -122,27 +124,58 @@ impl Registry {
                         format!("graph '{id}' is already registered; DELETE it first"),
                     ));
                 }
-                id
+                Ok(id)
             }
             None => loop {
                 let candidate = format!("g{}", self.next_auto_id);
                 self.next_auto_id += 1;
                 if !self.entries.contains_key(&candidate) {
-                    break candidate;
+                    break Ok(candidate);
                 }
             },
-        };
-        self.next_token += 1;
+        }
+    }
+
+    /// Registers a graph under an id already vetted by
+    /// [`Registry::resolve_id`]. The entry's token is the graph's content
+    /// checksum, so identical graphs earn identical tokens across restarts.
+    pub fn register_resolved(
+        &mut self,
+        id: String,
+        graph: Graph,
+        source: String,
+        snapshot: Option<String>,
+    ) -> Result<Arc<GraphEntry>, ServiceError> {
+        if self.entries.contains_key(&id) {
+            return Err(ServiceError::new(
+                409,
+                "graph_exists",
+                format!("graph '{id}' is already registered; DELETE it first"),
+            ));
+        }
         let entry = Arc::new(GraphEntry {
             id: id.clone(),
-            token: self.next_token,
+            token: store::content_checksum(&graph),
             source,
+            snapshot,
             graph: Arc::new(graph),
             sessions: Mutex::new(Vec::new()),
             selects: AtomicU64::new(0),
         });
         self.entries.insert(id, Arc::clone(&entry));
         Ok(entry)
+    }
+
+    /// Registers a graph under `id` (auto-assigned when `None`); see
+    /// [`Registry::resolve_id`] for the id rules.
+    pub fn register(
+        &mut self,
+        id: Option<String>,
+        graph: Graph,
+        source: String,
+    ) -> Result<Arc<GraphEntry>, ServiceError> {
+        let id = self.resolve_id(id)?;
+        self.register_resolved(id, graph, source, None)
     }
 
     /// Looks up a graph by id.
@@ -176,6 +209,81 @@ impl Registry {
 /// Records a select against an entry (relaxed: it is a metric, not a lock).
 pub fn record_select(entry: &GraphEntry) {
     entry.selects.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One line of the persisted registry manifest: which graph lives in which
+/// snapshot file, and what its content checksum must be.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Registry id the graph is served under.
+    pub id: String,
+    /// Snapshot path relative to the state dir (`graphs/<id>.smg`).
+    pub file: String,
+    /// Expected [`store::content_checksum`] of the snapshot — also the
+    /// registry token, so listings are stable across restarts.
+    pub checksum: u64,
+    /// Original source string (`generated:er`, `file:web.txt`, …).
+    pub source: String,
+}
+
+/// Schema version of `manifest.json`.
+const MANIFEST_VERSION: f64 = 1.0;
+
+/// Serializes manifest entries as deterministic JSON (insertion-ordered
+/// fields, checksums as zero-padded hex strings — the JSON number type
+/// cannot hold a u64 losslessly).
+pub fn manifest_json(entries: &[ManifestEntry]) -> Result<String, String> {
+    let graphs: Vec<Value> = entries
+        .iter()
+        .map(|e| {
+            json!({
+                "id": e.id.clone(),
+                "file": e.file.clone(),
+                "checksum": format!("{:016x}", e.checksum),
+                "source": e.source.clone(),
+            })
+        })
+        .collect();
+    let doc = json!({ "version": 1, "graphs": graphs });
+    serde_json::to_string(&doc).map_err(|e| format!("manifest encoding: {e}"))
+}
+
+fn manifest_str_field(entry: &Value, key: &str) -> Result<String, String> {
+    match crate::json::field(entry, key) {
+        Some(Value::String(s)) => Ok(s.clone()),
+        _ => Err(format!("manifest entry is missing string field '{key}'")),
+    }
+}
+
+/// Parses `manifest.json`. Errors are strings because a bad manifest is a
+/// boot-time configuration failure, not a request-path condition.
+pub fn parse_manifest(text: &str) -> Result<Vec<ManifestEntry>, String> {
+    let doc: Value =
+        serde_json::from_str(text).map_err(|e| format!("manifest is not valid JSON: {e}"))?;
+    match crate::json::field(&doc, "version") {
+        Some(Value::Number(v)) if *v == MANIFEST_VERSION => {}
+        other => return Err(format!("unsupported manifest version {other:?}")),
+    }
+    let items = match crate::json::field(&doc, "graphs") {
+        Some(Value::Array(items)) => items,
+        _ => return Err("manifest is missing the 'graphs' array".to_string()),
+    };
+    let mut entries = Vec::with_capacity(items.len());
+    for item in items {
+        let id = manifest_str_field(item, "id")?;
+        let file = manifest_str_field(item, "file")?;
+        let hex = manifest_str_field(item, "checksum")?;
+        let checksum = u64::from_str_radix(&hex, 16)
+            .map_err(|e| format!("graph '{id}': bad checksum {hex:?}: {e}"))?;
+        let source = manifest_str_field(item, "source")?;
+        entries.push(ManifestEntry {
+            id,
+            file,
+            checksum,
+            source,
+        });
+    }
+    Ok(entries)
 }
 
 #[cfg(test)]
@@ -244,12 +352,74 @@ mod tests {
     }
 
     #[test]
-    fn tokens_are_unique_across_reregistration() {
+    fn tokens_are_content_derived() {
         let mut r = Registry::new();
         let a = r.register(Some("g".into()), tiny(3), "t".into()).unwrap();
         r.remove("g");
         let b = r.register(Some("g".into()), tiny(3), "t".into()).unwrap();
-        assert_ne!(a.token, b.token, "reused id must get a fresh token");
+        assert_eq!(
+            a.token, b.token,
+            "identical content re-registered under the same id keeps its token"
+        );
+        r.remove("g");
+        let c = r.register(Some("g".into()), tiny(4), "t".into()).unwrap();
+        assert_ne!(a.token, c.token, "different content must change the token");
+        assert_eq!(
+            a.token,
+            smin_graph::store::content_checksum(&tiny(3)),
+            "the token is the snapshot content checksum"
+        );
+    }
+
+    #[test]
+    fn manifest_roundtrips() {
+        let entries = vec![
+            ManifestEntry {
+                id: "alpha".into(),
+                file: "graphs/alpha.smg".into(),
+                checksum: 0xDEAD_BEEF_0123_4567,
+                source: "generated:er".into(),
+            },
+            ManifestEntry {
+                id: "beta".into(),
+                file: "graphs/beta.smg".into(),
+                checksum: u64::MAX,
+                source: "file:web.txt".into(),
+            },
+        ];
+        let text = manifest_json(&entries).unwrap();
+        assert_eq!(parse_manifest(&text).unwrap(), entries);
+        // Deterministic: same entries, same bytes.
+        assert_eq!(manifest_json(&entries).unwrap(), text);
+        // u64 checksums survive losslessly via hex strings.
+        assert!(text.contains("ffffffffffffffff"), "{text}");
+    }
+
+    #[test]
+    fn manifest_rejects_damage() {
+        assert!(parse_manifest("not json").is_err());
+        assert!(parse_manifest(r#"{"version":2,"graphs":[]}"#).is_err());
+        assert!(parse_manifest(r#"{"version":1}"#).is_err());
+        assert!(parse_manifest(
+            r#"{"version":1,"graphs":[{"id":"g","file":"f","checksum":"xyz","source":"s"}]}"#
+        )
+        .is_err());
+        assert!(parse_manifest(r#"{"version":1,"graphs":[{"id":"g"}]}"#).is_err());
+        assert_eq!(
+            parse_manifest(r#"{"version":1,"graphs":[]}"#).unwrap(),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn register_resolved_rejects_duplicates() {
+        let mut r = Registry::new();
+        r.register_resolved("g".into(), tiny(3), "t".into(), None)
+            .unwrap();
+        let err = r
+            .register_resolved("g".into(), tiny(3), "t".into(), None)
+            .unwrap_err();
+        assert_eq!(err.status, 409);
     }
 
     #[test]

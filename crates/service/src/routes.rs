@@ -17,7 +17,9 @@ use crate::cache::SelectCache;
 use crate::error::ServiceError;
 use crate::http::{Request, Response};
 use crate::json;
-use crate::registry::{record_select, GraphEntry, Registry};
+use crate::registry::{
+    manifest_json, parse_manifest, record_select, GraphEntry, ManifestEntry, Registry,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde_json::{json, Value};
@@ -26,7 +28,7 @@ use smin_diffusion::{Model, Realization, RealizationOracle};
 use smin_graph::generators::{
     assemble, barabasi_albert, chung_lu_directed, erdos_renyi, watts_strogatz,
 };
-use smin_graph::{io, Graph, WeightModel};
+use smin_graph::{io, store, Graph, WeightModel};
 use std::path::{Component, Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
@@ -38,19 +40,47 @@ pub struct ServiceState {
     /// Directory `POST /v1/graphs {"path": …}` loads are confined to;
     /// `None` disables file loading entirely.
     graphs_dir: Option<PathBuf>,
+    /// Durable registry root (`manifest.json` + `graphs/*.smg` snapshots);
+    /// `None` keeps the registry in-memory only.
+    state_dir: Option<PathBuf>,
     started: Instant,
 }
 
 impl ServiceState {
-    /// Fresh state; `cache_capacity` bounds the memoized-response count.
+    /// Fresh in-memory state; `cache_capacity` bounds the memoized-response
+    /// count.
     pub fn new(graphs_dir: Option<PathBuf>, cache_capacity: usize) -> Self {
         ServiceState {
             registry: Mutex::new(Registry::new()),
             cache: Mutex::new(SelectCache::new(cache_capacity)),
             graphs_dir,
+            state_dir: None,
             // smin-lint: allow(no-wall-clock) -- /healthz uptime is observability, outside the determinism contract
             started: Instant::now(),
         }
+    }
+
+    /// State with a durable registry under `state_dir`: every registered
+    /// graph is snapshotted to `graphs/<id>.smg` and indexed in
+    /// `manifest.json`, and graphs listed in an existing manifest are
+    /// restored (and checksum-verified) before the server accepts requests.
+    pub fn with_state_dir(
+        graphs_dir: Option<PathBuf>,
+        cache_capacity: usize,
+        state_dir: Option<PathBuf>,
+    ) -> Result<Self, String> {
+        let mut state = ServiceState::new(graphs_dir, cache_capacity);
+        let Some(dir) = state_dir else {
+            return Ok(state);
+        };
+        std::fs::create_dir_all(dir.join("graphs"))
+            .map_err(|e| format!("cannot create state dir {dir:?}: {e}"))?;
+        restore_registry(
+            &dir,
+            state.registry.get_mut().unwrap_or_else(|e| e.into_inner()),
+        )?;
+        state.state_dir = Some(dir);
+        Ok(state)
     }
 
     fn registry(&self) -> MutexGuard<'_, Registry> {
@@ -60,6 +90,64 @@ impl ServiceState {
     fn cache(&self) -> MutexGuard<'_, SelectCache> {
         self.cache.lock().unwrap_or_else(|e| e.into_inner())
     }
+}
+
+/// Rebuilds the registry from `manifest.json`, verifying each snapshot's
+/// content checksum against the manifest. A missing manifest is a fresh
+/// state dir; a damaged one is a hard boot error — serving a silently
+/// partial registry would violate the restart-warm contract.
+fn restore_registry(dir: &Path, registry: &mut Registry) -> Result<(), String> {
+    let manifest_path = dir.join("manifest.json");
+    let text = match std::fs::read_to_string(&manifest_path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(format!("cannot read {manifest_path:?}: {e}")),
+    };
+    for entry in parse_manifest(&text)? {
+        let rel = Path::new(&entry.file);
+        if rel.components().any(|c| !matches!(c, Component::Normal(_))) {
+            return Err(format!(
+                "manifest entry '{}' has an unsafe file path {:?}",
+                entry.id, entry.file
+            ));
+        }
+        let graph = store::read_smg_path(dir.join(rel))
+            .map_err(|e| format!("snapshot {:?} for graph '{}': {e}", entry.file, entry.id))?;
+        let checksum = store::content_checksum(&graph);
+        if checksum != entry.checksum {
+            return Err(format!(
+                "snapshot {:?} for graph '{}' has checksum {:016x}, manifest says {:016x}",
+                entry.file, entry.id, checksum, entry.checksum
+            ));
+        }
+        registry
+            .register_resolved(entry.id.clone(), graph, entry.source, Some(entry.file))
+            .map_err(|e| format!("cannot restore graph '{}': {}", entry.id, e.message))?;
+    }
+    Ok(())
+}
+
+/// Rewrites `manifest.json` atomically (tmp + rename) from the entries that
+/// carry snapshots. BTreeMap listing order makes the output deterministic.
+fn write_manifest(dir: &Path, registry: &Registry) -> Result<(), String> {
+    let entries: Vec<ManifestEntry> = registry
+        .list()
+        .iter()
+        .filter_map(|e| {
+            e.snapshot.as_ref().map(|file| ManifestEntry {
+                id: e.id.clone(),
+                file: file.clone(),
+                checksum: e.token,
+                source: e.source.clone(),
+            })
+        })
+        .collect();
+    let mut text = manifest_json(&entries)?;
+    text.push('\n');
+    let tmp = dir.join("manifest.json.tmp");
+    let path = dir.join("manifest.json");
+    std::fs::write(&tmp, text).map_err(|e| format!("cannot write {tmp:?}: {e}"))?;
+    std::fs::rename(&tmp, &path).map_err(|e| format!("cannot replace {path:?}: {e}"))
 }
 
 /// Routes one request. Never panics on malformed input — every failure
@@ -125,7 +213,9 @@ fn entry_value(e: &GraphEntry) -> Value {
         "id": e.id.clone(),
         "n": e.graph.n(),
         "m": e.graph.m(),
+        "token": format!("{:016x}", e.token),
         "source": e.source.clone(),
+        "snapshot": e.snapshot.clone(),
         "selects": e.selects.load(std::sync::atomic::Ordering::Relaxed),
         "warm_sessions": e.warm_sessions(),
         "warm_pool_bytes": e.warm_pool_bytes(),
@@ -207,12 +297,9 @@ fn load_graph_file(
             "path {rel:?} must be relative to the graphs dir, without '..'"
         )));
     }
-    let full = dir.join(rel_path);
-    let g = if rel.ends_with(".bin") {
-        io::read_binary_path(&full)?
-    } else {
-        io::read_edge_list_path(&full)?.into_graph(true, 1.0)?
-    };
+    // Content-sniffing loader: `.smg` snapshots, the legacy binary dump, and
+    // text edge lists all work regardless of extension.
+    let g = io::load_auto(dir.join(rel_path), 1.0)?;
     Ok((g, format!("file:{rel}")))
 }
 
@@ -238,20 +325,48 @@ fn register_graph(state: &ServiceState, body: &[u8]) -> Result<Response, Service
             "the loaded graph has no nodes",
         ));
     }
-    let entry = state.registry().register(id, graph, source)?;
+    // Registration and persistence run under one registry lock so concurrent
+    // registrations serialize their manifest rewrites.
+    let mut registry = state.registry();
+    let id = registry.resolve_id(id)?;
+    let snapshot = state.state_dir.as_ref().map(|_| format!("graphs/{id}.smg"));
+    let entry = registry.register_resolved(id.clone(), graph, source, snapshot.clone())?;
+    if let (Some(dir), Some(rel)) = (&state.state_dir, &snapshot) {
+        let persisted = store::write_smg_path(&entry.graph, dir.join(rel))
+            .map_err(|e| format!("cannot write snapshot {rel:?}: {e}"))
+            .and_then(|()| write_manifest(dir, &registry));
+        if let Err(message) = persisted {
+            // Roll back so the in-memory registry never outlives its
+            // manifest: a graph the manifest does not know about would
+            // silently vanish on restart.
+            registry.remove(&id);
+            let _ = std::fs::remove_file(dir.join(rel));
+            return Err(ServiceError::new(500, "persist_failed", message));
+        }
+    }
     Ok(Response::json(201, &entry_value(&entry)))
 }
 
 /// `DELETE /v1/graphs/{id}`
 fn delete_graph(state: &ServiceState, id: &str) -> Result<Response, ServiceError> {
-    if state.registry().remove(id) {
-        Ok(Response::json(200, &json!({ "deleted": id })))
-    } else {
-        Err(ServiceError::not_found(
+    let mut registry = state.registry();
+    let snapshot = registry.get(id).and_then(|e| e.snapshot.clone());
+    if !registry.remove(id) {
+        return Err(ServiceError::not_found(
             "unknown_graph",
             format!("graph '{id}' is not registered"),
-        ))
+        ));
     }
+    if let Some(dir) = &state.state_dir {
+        write_manifest(dir, &registry)
+            .map_err(|message| ServiceError::new(500, "persist_failed", message))?;
+        if let Some(rel) = snapshot {
+            // Best-effort: the manifest no longer references the snapshot,
+            // so a leftover file is garbage, not a correctness problem.
+            let _ = std::fs::remove_file(dir.join(rel));
+        }
+    }
+    Ok(Response::json(200, &json!({ "deleted": id })))
 }
 
 /// Parsed `/v1/select` request.
@@ -682,16 +797,31 @@ mod tests {
         assert_eq!(cache_of(&with_threads).as_deref(), Some("HIT"));
         assert_eq!(with_threads.body, a.body);
 
-        // Re-register under the same id: the fresh token must miss.
-        let req = Request {
+        let delete = Request {
             method: "DELETE".into(),
             path: "/v1/graphs/g".into(),
             version: "HTTP/1.1".into(),
             headers: Vec::new(),
             body: Vec::new(),
         };
-        handle(&s, &req);
+
+        // Tokens are content checksums: re-registering the *identical* graph
+        // under the same id keeps its token, so the cached response (which is
+        // still correct for those bytes) keeps hitting.
+        handle(&s, &delete);
         register_er(&s, "g", 60);
+        let same = post(&s, "/v1/select", r#"{"graph":"g","eta":15,"seed":1}"#);
+        assert_eq!(cache_of(&same).as_deref(), Some("HIT"));
+        assert_eq!(same.body, a.body);
+
+        // A *different* graph under the reused id changes the token: miss.
+        handle(&s, &delete);
+        let resp = post(
+            &s,
+            "/v1/graphs",
+            r#"{"id":"g","generate":{"kind":"er","n":60,"m":180,"seed":2}}"#,
+        );
+        assert_eq!(resp.status, 201, "{}", body_str(&resp));
         let after = post(&s, "/v1/select", r#"{"graph":"g","eta":15,"seed":1}"#);
         assert_eq!(cache_of(&after).as_deref(), Some("MISS"));
     }
@@ -819,6 +949,88 @@ mod tests {
             r#"{"generate":{"kind":"ba","n":30,"attach":2,"weights":"uniform:0.2"}}"#,
         );
         assert_eq!(resp.status, 201, "{}", body_str(&resp));
+    }
+
+    #[test]
+    fn state_dir_persists_and_restores() {
+        let dir = std::env::temp_dir().join("smin_routes_state_dir");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let s = ServiceState::with_state_dir(None, 8, Some(dir.clone())).unwrap();
+        register_er(&s, "web", 40);
+        let token = s.registry().get("web").unwrap().token;
+        assert!(dir.join("graphs").join("web.smg").exists());
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        assert!(manifest.contains("\"id\":\"web\""), "{manifest}");
+        assert!(manifest.contains(&format!("{token:016x}")), "{manifest}");
+        drop(s);
+
+        // A fresh process over the same state dir serves the graph warm.
+        let s = ServiceState::with_state_dir(None, 8, Some(dir.clone())).unwrap();
+        let entry = s.registry().get("web").unwrap();
+        assert_eq!(entry.token, token, "token survives the restart");
+        assert_eq!(entry.source, "generated:er");
+        assert_eq!(entry.snapshot.as_deref(), Some("graphs/web.smg"));
+        let resp = post(
+            &s,
+            "/v1/graphs",
+            r#"{"id":"web","generate":{"kind":"er","n":40,"m":120,"seed":1}}"#,
+        );
+        assert_eq!(resp.status, 409, "restored graphs defend their ids");
+
+        // Deleting removes the snapshot and the manifest entry.
+        let req = Request {
+            method: "DELETE".into(),
+            path: "/v1/graphs/web".into(),
+            version: "HTTP/1.1".into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(handle(&s, &req).status, 200);
+        assert!(!dir.join("graphs").join("web.smg").exists());
+        drop(s);
+        let s = ServiceState::with_state_dir(None, 8, Some(dir.clone())).unwrap();
+        assert!(s.registry().is_empty(), "deleted graph must not resurrect");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_snapshot_fails_the_boot() {
+        let dir = std::env::temp_dir().join("smin_routes_state_dir_corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = ServiceState::with_state_dir(None, 8, Some(dir.clone())).unwrap();
+        register_er(&s, "web", 30);
+        drop(s);
+
+        let snap = dir.join("graphs").join("web.smg");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&snap, bytes).unwrap();
+        let err = ServiceState::with_state_dir(None, 8, Some(dir.clone()))
+            .err()
+            .expect("boot over damaged state must fail");
+        assert!(err.contains("web"), "error names the graph: {err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_rejects_traversal_paths() {
+        let dir = std::env::temp_dir().join("smin_routes_state_dir_traversal");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("manifest.json"),
+            r#"{"version":1,"graphs":[{"id":"g","file":"../../etc/passwd","checksum":"0","source":"s"}]}"#,
+        )
+        .unwrap();
+        let err = ServiceState::with_state_dir(None, 8, Some(dir.clone()))
+            .err()
+            .expect("boot over damaged state must fail");
+        assert!(err.contains("unsafe file path"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Directory `{"path": …}` graph loads are confined to.
     pub graphs_dir: Option<std::path::PathBuf>,
+    /// Durable registry root: snapshots + manifest live here and are
+    /// restored on boot, so restarts keep every registered graph and token.
+    pub state_dir: Option<std::path::PathBuf>,
     /// Memoized `/v1/select` responses retained.
     pub cache_capacity: usize,
 }
@@ -39,6 +42,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7878".into(),
             workers: 4,
             graphs_dir: None,
+            state_dir: None,
             cache_capacity: 1024,
         }
     }
@@ -55,12 +59,15 @@ impl Server {
     /// Binds the listener and builds the shared state.
     pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let state = ServiceState::with_state_dir(
+            config.graphs_dir.clone(),
+            config.cache_capacity,
+            config.state_dir.clone(),
+        )
+        .map_err(std::io::Error::other)?;
         Ok(Server {
             listener,
-            state: Arc::new(ServiceState::new(
-                config.graphs_dir.clone(),
-                config.cache_capacity,
-            )),
+            state: Arc::new(state),
             workers: config.workers.max(1),
         })
     }

@@ -13,10 +13,15 @@
 use smin_service::{Client, Server, ServerConfig};
 
 fn spawn_server() -> smin_service::ServerHandle {
+    spawn_server_with_state(None)
+}
+
+fn spawn_server_with_state(state_dir: Option<std::path::PathBuf>) -> smin_service::ServerHandle {
     let config = ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         graphs_dir: None,
+        state_dir,
         cache_capacity: 64,
     };
     Server::bind(&config)
@@ -105,6 +110,54 @@ fn select_is_byte_identical_across_restarts_and_thread_counts() {
     );
     drop(c);
     handle_b.shutdown();
+}
+
+#[test]
+fn warm_restart_restores_graphs_tokens_and_select_bytes() {
+    let dir = std::env::temp_dir().join("smin_service_warm_restart");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Server A: register a graph into the state dir, capture the listing and
+    // an uncached select, then die.
+    let mut handle_a = spawn_server_with_state(Some(dir.clone()));
+    let mut c = client(&handle_a);
+    assert_eq!(c.post("/v1/graphs", REGISTER).unwrap().status, 201);
+    let listing_a = c.get("/v1/graphs").unwrap();
+    assert!(
+        listing_a.text().contains("\"snapshot\":\"graphs/g.smg\""),
+        "{}",
+        listing_a.text()
+    );
+    assert!(
+        listing_a.text().contains("\"token\":\""),
+        "{}",
+        listing_a.text()
+    );
+    let select_a = c.post("/v1/select", SELECT_UNCACHED).unwrap();
+    assert_eq!(select_a.status, 200, "{}", select_a.text());
+    drop(c);
+    handle_a.shutdown();
+
+    // Server B: boots from the manifest — no re-registration anywhere.
+    let mut handle_b = spawn_server_with_state(Some(dir.clone()));
+    let mut c = client(&handle_b);
+    let listing_b = c.get("/v1/graphs").unwrap();
+    assert_eq!(
+        listing_b.body, listing_a.body,
+        "restart must list the same graphs with the same tokens"
+    );
+    let select_b = c.post("/v1/select", SELECT_UNCACHED).unwrap();
+    assert_eq!(
+        select_b.body, select_a.body,
+        "restart changed the select bytes"
+    );
+    // The restored graph still owns its id.
+    let conflict = c.post("/v1/graphs", REGISTER).unwrap();
+    assert_eq!(conflict.status, 409, "{}", conflict.text());
+    drop(c);
+    handle_b.shutdown();
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

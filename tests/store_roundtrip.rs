@@ -1,0 +1,116 @@
+//! Property-based round-trip guarantees for the `.smg` binary snapshot:
+//! encode → decode is lossless down to probability bit patterns, the
+//! encoding is deterministic byte-for-byte, and single-byte corruption
+//! anywhere in the file never yields a silently-wrong graph.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use seedmin::graph::store;
+use seedmin::graph::{generators, Graph, GraphError, StoreError, WeightModel};
+
+/// Strategy: a small random directed graph across the weight models the
+/// datasets layer actually uses, so probability bit patterns vary.
+fn small_graph() -> impl Strategy<Value = Graph> {
+    (2usize..24, 0u64..1000, 0u8..3).prop_map(|(n, seed, model_ix)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let max_m = n * (n - 1) / 2;
+        let m = (1 + seed as usize % max_m.max(1)).min(max_m);
+        let pairs = generators::erdos_renyi(n, m, &mut rng);
+        let model = match model_ix {
+            0 => WeightModel::WeightedCascade,
+            1 => WeightModel::Uniform(0.37),
+            _ => WeightModel::Trivalency,
+        };
+        generators::assemble(n, &pairs, true, model, &mut rng).expect("valid generator output")
+    })
+}
+
+fn encode(g: &Graph) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    store::write_smg(g, &mut bytes).expect("in-memory encode cannot fail");
+    bytes
+}
+
+/// CSR-level equality: node/edge counts and the exact forward edge list,
+/// comparing probabilities by bit pattern (not approximate equality).
+/// Panics on mismatch, which proptest reports as a test-case failure.
+fn assert_graphs_identical(a: &Graph, b: &Graph) {
+    assert_eq!(a.n(), b.n());
+    assert_eq!(a.m(), b.m());
+    let ea: Vec<(u32, u32, u64)> = a.edges().map(|(u, v, p)| (u, v, p.to_bits())).collect();
+    let eb: Vec<(u32, u32, u64)> = b.edges().map(|(u, v, p)| (u, v, p.to_bits())).collect();
+    assert_eq!(ea, eb);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn smg_roundtrip_is_lossless(g in small_graph()) {
+        let bytes = encode(&g);
+        let back = store::read_smg_bytes(&bytes).expect("decode own encoding");
+        assert_graphs_identical(&g, &back);
+        // reverse adjacency is rebuilt, not stored: it must agree too
+        for v in 0..g.n() as u32 {
+            prop_assert_eq!(g.in_degree(v), back.in_degree(v));
+        }
+    }
+
+    #[test]
+    fn smg_encoding_is_deterministic(g in small_graph()) {
+        let first = encode(&g);
+        let second = encode(&g);
+        prop_assert!(first == second, "same graph must encode byte-identically");
+        // and a decoded copy re-encodes to the same bytes (canonical form)
+        let back = store::read_smg_bytes(&first).expect("decode own encoding");
+        prop_assert_eq!(first, encode(&back));
+    }
+
+    #[test]
+    fn header_checksum_matches_graph_checksum(g in small_graph()) {
+        let bytes = encode(&g);
+        let header = store::read_smg_header(&bytes[..]).expect("read header");
+        prop_assert_eq!(header.n, g.n() as u64);
+        prop_assert_eq!(header.m, g.m() as u64);
+        prop_assert_eq!(header.file_len(), bytes.len() as u64);
+        // registry identity: derivable from the first 64 bytes alone
+        prop_assert_eq!(header.content_checksum(), store::content_checksum(&g));
+    }
+
+    #[test]
+    fn single_byte_corruption_never_decodes_silently(
+        g in small_graph(),
+        pos_frac in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let clean = encode(&g);
+        let mut bytes = clean.clone();
+        let pos = ((pos_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        bytes[pos] ^= xor;
+        match store::read_smg_bytes(&bytes) {
+            // Every flip must be caught: magic and header bytes by the magic
+            // check / header CRC, reserved header bytes by the zero check
+            // (Malformed), section bytes (including alignment padding) by
+            // their section CRCs.
+            Err(GraphError::Store(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other}"),
+            Ok(_) => prop_assert!(false, "corrupted byte {pos} decoded silently"),
+        }
+    }
+
+    #[test]
+    fn truncation_never_decodes(g in small_graph(), keep_frac in 0.0f64..1.0) {
+        let clean = encode(&g);
+        let keep = ((keep_frac * clean.len() as f64) as usize).min(clean.len() - 1);
+        let err = store::read_smg_bytes(&clean[..keep])
+            .expect_err("truncated snapshot must not decode");
+        prop_assert!(
+            matches!(
+                err,
+                GraphError::Store(StoreError::Truncated { .. } | StoreError::BadMagic)
+            ),
+            "unexpected error class: {err}"
+        );
+    }
+}
