@@ -1,0 +1,254 @@
+//! `perf` — the coverage/selection kernel harness behind the recorded perf
+//! trajectory.
+//!
+//! Builds mRR sketch pools at pinned seeds (the `coverage_greedy` bench
+//! fixture: Chung–Lu 2k/8k WC graph, `MrrSampler` at η = 100) for pool
+//! sizes 1k/4k/16k, times the coverage kernels on each, and emits two
+//! hand-formatted trajectory artifacts in the `BENCH_graph_load.json`
+//! style:
+//!
+//! * `BENCH_coverage.json` — the per-pick kernels: the argmax candidate
+//!   scan and the b = 8 greedy strategies (eager compacted scan vs CELF),
+//!   plus `SketchPool::heap_bytes()` per pool size;
+//! * `BENCH_select.json` — deep selections (b = 64) where `commit_pick`
+//!   and the CELF reheap dominate, plus the CELF heap-operation counts
+//!   that pin the single-winner fast path.
+//!
+//! ```text
+//! perf [--smoke] [--iters K] [--out-dir DIR]
+//! ```
+//!
+//! `--smoke` drops to 5 iterations per measurement (CI's quick mode); the
+//! pool sizes stay identical so `asm bench-check` can compare a smoke run
+//! against the committed full-run baselines. The bin records — the
+//! regression *gate* is `asm bench-check` downstream.
+
+use smin_bench::stats;
+use std::time::Instant;
+
+/// Pool sizes swept by both artifacts. Fixed: `asm bench-check` compares
+/// runs structurally, so every run must sweep the same sizes.
+const POOL_SIZES: [usize; 3] = [1_024, 4_096, 16_384];
+
+struct PerfArgs {
+    iters: usize,
+    smoke: bool,
+    out_dir: String,
+}
+
+const USAGE: &str = "\
+perf — coverage/selection kernel benchmark harness
+
+USAGE:
+  perf [--smoke] [--iters K] [--out-dir DIR]
+
+Defaults: --iters 9 (5 with --smoke) --out-dir .
+Writes BENCH_coverage.json and BENCH_select.json into --out-dir.";
+
+fn parse_args() -> Result<PerfArgs, String> {
+    let mut out = PerfArgs {
+        iters: 0, // resolved after --smoke is known
+        smoke: false,
+        out_dir: ".".to_string(),
+    };
+    let mut iters: Option<usize> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--smoke" => out.smoke = true,
+            "--iters" => {
+                iters = Some(
+                    value("--iters")?
+                        .parse()
+                        .map_err(|e| format!("bad value for --iters: {e}"))?,
+                )
+            }
+            "--out-dir" => out.out_dir = value("--out-dir")?.clone(),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    out.iters = iters.unwrap_or(if out.smoke { 5 } else { 9 });
+    if out.iters == 0 {
+        return Err("--iters must be at least 1".into());
+    }
+    Ok(out)
+}
+
+/// One timed metric: ascending-sorted per-iteration microseconds.
+struct Dist {
+    sorted_us: Vec<f64>,
+}
+
+impl Dist {
+    fn median(&self) -> f64 {
+        stats::percentile(&self.sorted_us, 0.50).expect("non-empty sample")
+    }
+
+    /// `{ "median": m, "min": a, "max": b }` — the trajectory leaf format
+    /// `asm bench-check` consumes.
+    fn json(&self) -> String {
+        format!(
+            "{{ \"median\": {:.3}, \"min\": {:.3}, \"max\": {:.3} }}",
+            self.median(),
+            self.sorted_us[0],
+            self.sorted_us[self.sorted_us.len() - 1],
+        )
+    }
+}
+
+/// Times `iters` measurements of `reps` back-to-back runs of `f`,
+/// reporting per-run microseconds. `reps > 1` keeps sub-microsecond
+/// kernels (argmax) above timer resolution.
+fn time_us(iters: usize, reps: usize, mut f: impl FnMut()) -> Dist {
+    let mut sorted_us: Vec<f64> = (0..iters)
+        .map(|_| {
+            let started = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            started.elapsed().as_secs_f64() * 1e6 / reps as f64
+        })
+        .collect();
+    sorted_us.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    Dist { sorted_us }
+}
+
+/// The `coverage_greedy` bench fixture, reproduced without Criterion: a
+/// pinned Chung–Lu graph and an mRR pool of exactly `sets` sketches.
+fn build_pool(sets: usize) -> smin_sampling::SketchPool {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use smin_diffusion::{Model, ResidualState};
+    use smin_graph::generators::{assemble, chung_lu_directed};
+    use smin_graph::WeightModel;
+    use smin_sampling::{MrrSampler, RootCountDist, SketchPool};
+
+    let n = 2_000;
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+    let pairs = chung_lu_directed(n, 8_000, 2.1, &mut rng);
+    let g = assemble(n, &pairs, true, WeightModel::WeightedCascade, &mut rng)
+        .expect("valid generator output");
+
+    let residual = ResidualState::new(n);
+    let mut sampler = MrrSampler::new(n);
+    let mut rng = SmallRng::seed_from_u64(4);
+    let mut pool = SketchPool::new(n);
+    let mut out = Vec::new();
+    for _ in 0..sets {
+        sampler.sample_into(
+            &g,
+            Model::IC,
+            &residual,
+            100,
+            RootCountDist::Randomized,
+            &mut rng,
+            &mut out,
+        );
+        pool.add_set(&out);
+    }
+    pool
+}
+
+fn run(args: &PerfArgs) -> Result<(), String> {
+    use smin_sampling::CoverageEngine;
+
+    let mut coverage_rows = Vec::new();
+    let mut select_rows = Vec::new();
+
+    for &sets in &POOL_SIZES {
+        eprintln!("building pool: {sets} sets ...");
+        let pool = build_pool(sets);
+        let mut engine = CoverageEngine::new();
+
+        // Per-pick kernels: the argmax candidate scan (averaged over 64
+        // back-to-back runs — single runs sit at timer resolution) and the
+        // b = 8 strategies.
+        let argmax = time_us(args.iters, 64, || {
+            std::hint::black_box(engine.argmax(&pool));
+        });
+        let eager_b8 = time_us(args.iters, 1, || {
+            std::hint::black_box(engine.select_eager(&pool, 8).covered);
+        });
+        let celf_b8 = time_us(args.iters, 1, || {
+            std::hint::black_box(engine.select(&pool, 8).covered);
+        });
+
+        // Deep selections: commit_pick and the CELF reheap dominate.
+        let eager_b64 = time_us(args.iters, 1, || {
+            std::hint::black_box(engine.select_eager(&pool, 64).covered);
+        });
+        let celf_b64 = time_us(args.iters, 1, || {
+            std::hint::black_box(engine.select(&pool, 64).covered);
+        });
+
+        println!(
+            "pool {sets:>6}: argmax {:9.1} us | b8 eager {:9.1} us, celf {:9.1} us | b64 eager {:9.1} us, celf {:9.1} us | heap {} B",
+            argmax.median(),
+            eager_b8.median(),
+            celf_b8.median(),
+            eager_b64.median(),
+            celf_b64.median(),
+            pool.heap_bytes(),
+        );
+
+        coverage_rows.push(format!(
+            "    {{\n      \
+               \"sets\": {sets},\n      \
+               \"heap_bytes\": {heap},\n      \
+               \"argmax_us\": {argmax},\n      \
+               \"eager_b8_us\": {eager},\n      \
+               \"celf_b8_us\": {celf}\n    }}",
+            heap = pool.heap_bytes(),
+            argmax = argmax.json(),
+            eager = eager_b8.json(),
+            celf = celf_b8.json(),
+        ));
+        select_rows.push(format!(
+            "    {{\n      \
+               \"sets\": {sets},\n      \
+               \"eager_b64_us\": {eager},\n      \
+               \"celf_b64_us\": {celf}\n    }}",
+            eager = eager_b64.json(),
+            celf = celf_b64.json(),
+        ));
+    }
+
+    std::fs::create_dir_all(&args.out_dir)
+        .map_err(|e| format!("create --out-dir {}: {e}", args.out_dir))?;
+    let write = |name: &str, bench: &str, rows: &[String]| -> Result<(), String> {
+        let path = std::path::Path::new(&args.out_dir).join(name);
+        let json = format!(
+            "{{\n  \
+               \"bench\": \"{bench}\",\n  \
+               \"iters\": {iters},\n  \
+               \"smoke\": {smoke},\n  \
+               \"pools\": [\n{rows}\n  ]\n}}\n",
+            iters = args.iters,
+            smoke = args.smoke,
+            rows = rows.join(",\n"),
+        );
+        std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+        Ok(())
+    };
+    write("BENCH_coverage.json", "coverage", &coverage_rows)?;
+    write("BENCH_select.json", "select", &select_rows)?;
+    Ok(())
+}
+
+fn main() {
+    let result = parse_args().and_then(|args| run(&args));
+    if let Err(e) = result {
+        eprintln!("perf error: {e}");
+        std::process::exit(1);
+    }
+}

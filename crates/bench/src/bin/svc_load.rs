@@ -40,6 +40,7 @@ struct LoadArgs {
     seed: u64,
     distinct_seeds: bool,
     no_cache: bool,
+    out: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -48,7 +49,12 @@ svc_load — load generator for `asm serve`
 USAGE:
   svc_load --addr HOST:PORT [--smoke]
            [--requests N] [--clients C] [--n NODES] [--attach K]
-           [--eta N] [--eps F] [--seed N] [--distinct-seeds] [--no-cache]";
+           [--eta N] [--eps F] [--seed N] [--distinct-seeds] [--no-cache]
+           [--out FILE]
+
+--out (load mode) also writes the run as a JSON trajectory artifact
+(latency percentiles, req/s, cold->warm split) in the BENCH_*.json style
+consumed by `asm bench-check`.";
 
 fn parse_args() -> Result<LoadArgs, String> {
     let mut out = LoadArgs {
@@ -63,6 +69,7 @@ fn parse_args() -> Result<LoadArgs, String> {
         seed: 42,
         distinct_seeds: false,
         no_cache: false,
+        out: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -83,6 +90,7 @@ fn parse_args() -> Result<LoadArgs, String> {
             "--eta" => out.eta = parse(value("--eta")?, "--eta")?,
             "--eps" => out.eps = parse(value("--eps")?, "--eps")?,
             "--seed" => out.seed = parse(value("--seed")?, "--seed")?,
+            "--out" => out.out = Some(value("--out")?.clone()),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -323,6 +331,50 @@ fn load(args: &LoadArgs) -> Result<(), String> {
             failures.len(),
             failures[0]
         ));
+    }
+
+    if let Some(path) = &args.out {
+        // Hand-formatted like the other BENCH_*.json artifacts. Only the
+        // "median" leaf gates under `asm bench-check`; the tail percentiles,
+        // throughput, and cold->warm split are informational (tails and
+        // req/s are too machine-sensitive to fail CI on).
+        let cold_warm = match first_two {
+            [first, second, ..] => format!(
+                "{{ \"cold_us\": {first:.1}, \"warm_us\": {second:.1}, \"speedup\": {:.2} }}",
+                first / second.max(1.0)
+            ),
+            _ => "null".to_string(),
+        };
+        let json = format!(
+            "{{\n  \
+               \"bench\": \"svc_load\",\n  \
+               \"requests\": {requests},\n  \
+               \"clients\": {clients},\n  \
+               \"n\": {n},\n  \
+               \"eta\": {eta},\n  \
+               \"distinct_seeds\": {distinct},\n  \
+               \"cache\": {cache},\n  \
+               \"completed\": {completed},\n  \
+               \"cache_hits\": {cache_hits},\n  \
+               \"req_per_s\": {rps:.1},\n  \
+               \"latency_us\": {{ \"median\": {p50:.1}, \"p95\": {p95:.1}, \"p99\": {p99:.1}, \"min\": {min:.1}, \"max\": {max:.1}, \"mean\": {mean:.1} }},\n  \
+               \"cold_to_warm\": {cold_warm}\n}}\n",
+            requests = args.requests,
+            clients = args.clients,
+            n = args.n,
+            eta = args.eta,
+            distinct = args.distinct_seeds,
+            cache = !args.no_cache,
+            rps = completed as f64 / wall_s.max(1e-9),
+            p50 = summary.p50,
+            p95 = summary.p95,
+            p99 = summary.p99,
+            min = summary.min,
+            max = summary.max,
+            mean = summary.mean,
+        );
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
     }
     Ok(())
 }

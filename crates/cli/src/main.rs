@@ -9,6 +9,7 @@
 
 #![forbid(unsafe_code)]
 
+mod bench_check;
 mod commands;
 mod flags;
 
@@ -28,6 +29,7 @@ USAGE:
             [--threads T] [--cache N]
   asm lint [--root DIR] [--format human|json] [--baseline FILE]
            [--no-baseline] [--write-baseline]
+  asm bench-check --baseline FILE --current FILE [--tol F]
   asm pack <GRAPH> <OUT.smg>        # encode as a binary CSR snapshot
   asm inspect <FILE.smg>            # dump a snapshot header
   asm convert <IN> <OUT>            # re-encode by output extension
@@ -64,6 +66,13 @@ DIR/graphs/<id>.smg and indexed in DIR/manifest.json, and a restarted
 server reloads all of them — same ids, same checksum-derived tokens — with
 no re-registration.
 
+bench-check gates the recorded performance trajectory: every \"median\"
+leaf in the committed --baseline artifact (BENCH_coverage.json,
+BENCH_select.json, BENCH_graph_load.json, BENCH_svc_load.json) must exist
+at the same path in the --current run and stay within --tol fractional
+headroom (default 0.25 = +25%). Missing medians fail structurally;
+improvements and extra current-only metrics never fail.
+
 lint runs the workspace determinism/robustness static analysis (smin-analyze)
 over every crate: no HashMap iteration or wall-clock reads in deterministic
 crates, no ambient RNG, no panics in the service request path, SAFETY
@@ -84,6 +93,7 @@ fn main() -> ExitCode {
         "run" => commands::run(rest),
         "serve" => commands::serve(rest),
         "lint" => commands::lint(rest),
+        "bench-check" => bench_check::bench_check(rest),
         "pack" => commands::pack(rest),
         "inspect" => commands::inspect(rest),
         "convert" => commands::convert(rest),

@@ -74,6 +74,12 @@ impl TrimScratch {
     pub fn pool(&self) -> &SketchPool {
         &self.pool
     }
+
+    /// The shared coverage engine as of the last round (tests inspect its
+    /// instrumentation counters — scan compaction, CELF heap traffic).
+    pub fn engine(&self) -> &CoverageEngine {
+        &self.engine
+    }
 }
 
 /// Derived schedule shared by TRIM and TRIM-B.

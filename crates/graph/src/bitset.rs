@@ -88,9 +88,41 @@ impl FixedBitSet {
     /// same capacity.
     pub fn union_with(&mut self, other: &FixedBitSet) {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        debug_assert_eq!(self.words.len(), other.words.len());
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a |= b;
         }
+    }
+
+    /// In-place union that also reports how many bits it freshly set — one
+    /// `popcnt` per word, no second counting pass. Panics unless both sets
+    /// have the same capacity.
+    pub fn union_count(&mut self, other: &FixedBitSet) -> usize {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        debug_assert_eq!(self.words.len(), other.words.len());
+        let mut fresh = 0usize;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            fresh += (b & !*a).count_ones() as usize;
+            *a |= b;
+        }
+        fresh
+    }
+
+    /// Inserts the whole word-sized batch `mask` into word `wi` (indices
+    /// `wi*64 + bit` for each set bit), returning the sub-mask of bits that
+    /// were **not** already present. This is the 64-at-a-time form of
+    /// [`insert`](FixedBitSet::insert) the coverage kernels batch on.
+    #[inline]
+    pub fn insert_word(&mut self, wi: usize, mask: u64) -> u64 {
+        debug_assert!(wi < self.words.len(), "word index {wi} out of range");
+        debug_assert!(
+            mask == 0 || (wi << 6) + 63 - (mask.leading_zeros() as usize) < self.len,
+            "mask sets bits beyond the capacity"
+        );
+        let w = &mut self.words[wi];
+        let fresh = mask & !*w;
+        *w |= mask;
+        fresh
     }
 
     /// Number of set bits, one `popcnt` per word.
@@ -98,19 +130,45 @@ impl FixedBitSet {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Iterates set indices in increasing order.
-    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            let mut w = w;
-            std::iter::from_fn(move || {
-                if w == 0 {
-                    return None;
-                }
-                let bit = w.trailing_zeros() as usize;
-                w &= w - 1;
-                Some((wi << 6) | bit)
-            })
-        })
+    /// Number of set bits in the index range `lo..hi`, computed a word at a
+    /// time: the boundary words are masked, everything between is a plain
+    /// `popcnt` — no per-bit probing.
+    pub fn count_ones_range(&self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi && hi <= self.len, "range {lo}..{hi} out of bounds");
+        if lo == hi {
+            return 0;
+        }
+        let (wl, wh) = (lo >> 6, (hi - 1) >> 6);
+        let lo_mask = !0u64 << (lo & 63);
+        // bits strictly above hi-1 are cleared from the last word
+        let hi_mask = !0u64 >> (63 - ((hi - 1) & 63));
+        if wl == wh {
+            return (self.words[wl] & lo_mask & hi_mask).count_ones() as usize;
+        }
+        let mut total = (self.words[wl] & lo_mask).count_ones() as usize;
+        for &w in &self.words[wl + 1..wh] {
+            total += w.count_ones() as usize;
+        }
+        total + (self.words[wh] & hi_mask).count_ones() as usize
+    }
+
+    /// The backing words, 64 indices each (`index = word*64 + bit`). Word
+    /// granularity is the contract the batched coverage kernels build on.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates set indices in increasing order, skipping empty words: an
+    /// all-zero stretch costs one load + compare per 64 indices, and within
+    /// a non-empty word each set bit is found by `trailing_zeros` — the
+    /// iterator never probes indices bit by bit.
+    pub fn ones(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            current: 0,
+            wi: 0,
+        }
     }
 
     /// Heap bytes held by the backing storage.
@@ -118,6 +176,48 @@ impl FixedBitSet {
         self.words.capacity() * std::mem::size_of::<u64>()
     }
 }
+
+/// Word-skipping iterator over the set indices of a [`FixedBitSet`]
+/// (see [`FixedBitSet::ones`]).
+#[derive(Clone, Debug)]
+pub struct Ones<'a> {
+    /// Words not yet fully consumed (`words[0]`'s remaining bits live in
+    /// `current`).
+    words: &'a [u64],
+    /// Unconsumed bits of the word *before* `words` starts.
+    current: u64,
+    /// Index of the word `current` was taken from.
+    wi: usize,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            let (&w, rest) = self.words.split_first()?;
+            self.words = rest;
+            self.wi += 1;
+            self.current = w;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(((self.wi - 1) << 6) | bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let exact = self.current.count_ones() as usize
+            + self
+                .words
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>();
+        (exact, Some(exact))
+    }
+}
+
+impl ExactSizeIterator for Ones<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -181,5 +281,82 @@ mod tests {
         let mut a = FixedBitSet::new(10);
         let b = FixedBitSet::new(20);
         a.union_with(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn union_count_requires_equal_capacity() {
+        let mut a = FixedBitSet::new(10);
+        let b = FixedBitSet::new(20);
+        a.union_count(&b);
+    }
+
+    #[test]
+    fn union_count_reports_fresh_bits() {
+        let mut a = FixedBitSet::new(130);
+        let mut b = FixedBitSet::new(130);
+        for i in [0usize, 5, 64, 129] {
+            a.insert(i);
+        }
+        for i in [5usize, 64, 100, 128] {
+            b.insert(i);
+        }
+        // fresh in b: 100 and 128
+        assert_eq!(a.union_count(&b), 2);
+        assert_eq!(a.count_ones(), 6);
+        // idempotent: nothing fresh the second time
+        assert_eq!(a.union_count(&b), 0);
+    }
+
+    #[test]
+    fn insert_word_returns_fresh_mask() {
+        let mut s = FixedBitSet::new(200);
+        s.insert(64);
+        s.insert(67);
+        // word 1 currently holds bits {0, 3}; inserting {0, 1, 3, 5} is
+        // fresh only at {1, 5}
+        let fresh = s.insert_word(1, 0b101011);
+        assert_eq!(fresh, 0b100010);
+        assert_eq!(s.count_ones(), 4);
+        assert!(s.contains(65) && s.contains(69));
+        // whole-word insert into an empty word is all fresh
+        assert_eq!(s.insert_word(2, u64::MAX), u64::MAX);
+        assert_eq!(s.count_ones(), 4 + 64);
+        // empty mask is a no-op
+        assert_eq!(s.insert_word(0, 0), 0);
+    }
+
+    #[test]
+    fn count_ones_range_matches_filtered_ones() {
+        let mut s = FixedBitSet::new(300);
+        for i in (0..300).step_by(7) {
+            s.insert(i);
+        }
+        for (lo, hi) in [(0, 300), (0, 0), (63, 65), (64, 128), (1, 299), (130, 131)] {
+            let expected = s.ones().filter(|&i| lo <= i && i < hi).count();
+            assert_eq!(s.count_ones_range(lo, hi), expected, "range {lo}..{hi}");
+        }
+        assert_eq!(s.count_ones_range(0, 300), s.count_ones());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn count_ones_range_rejects_bad_range() {
+        FixedBitSet::new(10).count_ones_range(0, 11);
+    }
+
+    #[test]
+    fn ones_skips_empty_words_and_stays_exact() {
+        // set bits only in the first and last of 8 words: the iterator must
+        // report exactly those, in order, with an exact size_hint.
+        let mut s = FixedBitSet::new(512);
+        for i in [3usize, 17, 448, 511] {
+            s.insert(i);
+        }
+        let it = s.ones();
+        assert_eq!(it.len(), 4, "exact-size iterator");
+        assert_eq!(it.collect::<Vec<_>>(), vec![3, 17, 448, 511]);
+        // empty set yields nothing
+        assert_eq!(FixedBitSet::new(512).ones().count(), 0);
     }
 }

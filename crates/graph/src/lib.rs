@@ -40,7 +40,7 @@ pub mod store;
 pub mod topics;
 pub mod weights;
 
-pub use bitset::FixedBitSet;
+pub use bitset::{FixedBitSet, Ones};
 pub use builder::{DedupPolicy, GraphBuilder};
 pub use cast::u32_of;
 pub use csr::{Graph, NodeId};

@@ -12,10 +12,17 @@
 //! algorithm returns identical selections on identical pools. CELF is the
 //! default strategy ([`CoverageEngine::select`]); the eager scan survives as
 //! the reference implementation and as the small-`b` fast path.
+//!
+//! The hot paths run on word-parallel kernels: `commit_pick` batches newly
+//! covered sets 64 at a time against the covered mask's words before
+//! touching marginals, the candidate scans walk in unrolled 4-wide strides,
+//! and the CELF reheap takes a single-winner fast path when a refreshed top
+//! still beats the rest of the heap — all bit-identical to the scalar
+//! reference scans they replaced (same tie-breaking total order).
 
 use crate::pool::SketchPool;
 use smin_graph::cast::u32_of;
-use smin_graph::{FixedBitSet, NodeId};
+use smin_graph::{FixedBitSet, NodeId, Ones};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -29,19 +36,119 @@ pub struct GreedyCover {
     pub covered: u32,
 }
 
-/// The shared tie-breaking scan: the entry of `nodes` with the largest
-/// `gain`, ties toward the smaller node id. This one function defines the
-/// selection order for every coverage consumer (TRIM argmax included).
+/// The shared tie-breaking rule as a two-candidate merge: `b` replaces `a`
+/// iff it has strictly higher gain, or equal gain and a smaller node id.
+/// On candidates with distinct ids this is the max of a strict total order
+/// (gain descending, id ascending), so merges associate and commute — the
+/// unrolled scans below may fold lanes in any order.
 #[inline]
-pub(crate) fn best_node(nodes: &[NodeId], gain: &[u32]) -> Option<(NodeId, u32)> {
+fn better(a: (NodeId, u32), b: (NodeId, u32)) -> (NodeId, u32) {
+    if b.1 > a.1 || (b.1 == a.1 && b.0 < a.0) {
+        b
+    } else {
+        a
+    }
+}
+
+/// Sentinel that loses [`better`] to every real candidate (real candidates
+/// carry positive gain; zero-gain nodes are never offered as candidates).
+const NO_PICK: (NodeId, u32) = (NodeId::MAX, 0);
+
+/// Scalar reference for [`best_node`]: the one-at-a-time scan the unrolled
+/// kernel must agree with on every input (debug builds assert it; the
+/// kernel-equivalence proptests pin it from the outside).
+fn best_node_reference(nodes: &[NodeId], gain: &[u32]) -> Option<(NodeId, u32)> {
     let mut best: Option<(NodeId, u32)> = None;
     for &v in nodes {
         let c = gain[v as usize];
-        if best.is_none_or(|(bv, bc)| c > bc || (c == bc && v < bv)) {
+        if c != 0 && best.is_none_or(|(bv, bc)| c > bc || (c == bc && v < bv)) {
             best = Some((v, c));
         }
     }
     best
+}
+
+/// Packs a candidate into one orderable word: gain in the high half, the
+/// bitwise NOT of the id in the low half. `max` over packed keys is exactly
+/// the shared tie-breaking rule — higher gain wins, equal gain falls to the
+/// larger `!id`, i.e. the smaller id — so the argmax scan runs branchless.
+#[inline]
+fn pack(v: NodeId, c: u32) -> u64 {
+    (u64::from(c) << 32) | u64::from(!v)
+}
+
+/// Inverse of [`pack`]; `None` when the key carries zero gain (either the
+/// zeroed sentinel lane, or only exhausted candidates were offered).
+#[inline]
+fn unpack(key: u64) -> Option<(NodeId, u32)> {
+    let c = u32_of((key >> 32) as usize);
+    (c != 0).then(|| (!u32_of((key & u64::from(u32::MAX)) as usize), c))
+}
+
+/// The shared tie-breaking scan: the entry of `nodes` with the largest
+/// positive `gain`, ties toward the smaller node id; `None` when no entry
+/// has positive gain. This one function defines the selection order for
+/// every coverage consumer (TRIM argmax included).
+///
+/// Walks `nodes` in unrolled 4-wide strides, each stride lane max-folding a
+/// packed `(gain, ¬id)` key into its own accumulator — branchless, and the
+/// four gain loads of one iteration don't serialize on a single
+/// best-so-far register.
+#[inline]
+pub(crate) fn best_node(nodes: &[NodeId], gain: &[u32]) -> Option<(NodeId, u32)> {
+    let mut lanes = [0u64; 4];
+    let mut chunks = nodes.chunks_exact(4);
+    for chunk in &mut chunks {
+        for (lane, &v) in lanes.iter_mut().zip(chunk) {
+            *lane = (*lane).max(pack(v, gain[v as usize]));
+        }
+    }
+    let mut best = lanes.into_iter().fold(0, u64::max);
+    for &v in chunks.remainder() {
+        best = best.max(pack(v, gain[v as usize]));
+    }
+    let result = unpack(best);
+    debug_assert_eq!(result, best_node_reference(nodes, gain));
+    result
+}
+
+/// Compacting candidate scan shared by the eager strategies: drops
+/// permanently-exhausted nodes (zero marginal — submodularity keeps them
+/// zero) out of `scan` in place while tracking the best candidate in four
+/// independent lanes, exactly like [`best_node`]. Returns the pick with
+/// the shared tie-breaking, or `None` when no live candidate remains.
+fn scan_best(scan: &mut Vec<NodeId>, gain: &[u32]) -> Option<(NodeId, u32)> {
+    let mut lanes = [NO_PICK; 4];
+    let mut live = 0usize;
+    let len = scan.len();
+    let mut r = 0usize;
+    while r + 4 <= len {
+        // fixed-trip inner loop: unrolled, no per-element bounds checks on
+        // the lane accumulators
+        for lane in 0..4 {
+            let v = scan[r + lane];
+            let c = gain[v as usize];
+            if c != 0 {
+                scan[live] = v;
+                live += 1;
+                lanes[lane] = better(lanes[lane], (v, c));
+            }
+        }
+        r += 4;
+    }
+    while r < len {
+        let v = scan[r];
+        let c = gain[v as usize];
+        if c != 0 {
+            scan[live] = v;
+            live += 1;
+            lanes[0] = better(lanes[0], (v, c));
+        }
+        r += 1;
+    }
+    scan.truncate(live);
+    let best = lanes.into_iter().fold(NO_PICK, better);
+    (best.1 != 0).then_some(best)
 }
 
 /// Reusable marginal-coverage maintenance shared by every greedy/argmax
@@ -66,6 +173,15 @@ pub struct CoverageEngine {
     /// Nodes examined by the most recent eager select (instrumentation; the
     /// compaction regression test pins this).
     pub last_scanned: usize,
+    /// `(word index, mask)` batches of the pick being committed: the set-id
+    /// list of the picked node compressed 64 ids per word.
+    word_buf: Vec<(u32, u64)>,
+    /// Heap pops by the most recent [`CoverageEngine::select`]
+    /// (instrumentation; the fast-path regression test pins this).
+    pub last_heap_pops: usize,
+    /// Heap re-pushes by the most recent [`CoverageEngine::select`] —
+    /// refreshed entries that could not take the single-winner fast path.
+    pub last_heap_pushes: usize,
 }
 
 impl CoverageEngine {
@@ -86,19 +202,45 @@ impl CoverageEngine {
     /// Commits `v` into the partial selection: marks its sets covered and
     /// decrements every co-member's marginal. The single mutation point all
     /// strategies share.
+    ///
+    /// Word-parallel: `v`'s set-id list arrives in strictly increasing order
+    /// (insertion order), so it compresses into one `(word, mask)` pair per
+    /// touched word of the covered mask. Each batch then hits `set_covered`
+    /// with a single [`FixedBitSet::insert_word`] — up to 64 membership
+    /// tests in one fetch/or — and only the returned freshly-set bits walk
+    /// their set members to decrement marginals.
     fn commit_pick(&mut self, pool: &SketchPool, v: NodeId) {
-        let marginal = &mut self.marginal;
-        let set_covered = &mut self.set_covered;
+        self.word_buf.clear();
+        let word_buf = &mut self.word_buf;
         // for_each drives SetsOf's chunked fold — one arena-chunk slice at a
         // time instead of per-id iterator stepping.
         pool.sets_of(v).for_each(|s| {
-            if set_covered.insert(s as usize) {
+            let wi = s >> 6;
+            let bit = 1u64 << (s & 63);
+            match word_buf.last_mut() {
+                Some((w, mask)) if *w == wi => *mask |= bit,
+                _ => word_buf.push((wi, bit)),
+            }
+        });
+        let marginal = &mut self.marginal;
+        let set_covered = &mut self.set_covered;
+        for &(wi, mask) in self.word_buf.iter() {
+            let mut fresh = set_covered.insert_word(wi as usize, mask);
+            while fresh != 0 {
+                let s = (wi << 6) | fresh.trailing_zeros();
+                fresh &= fresh - 1;
                 for &u in pool.set(s) {
                     marginal[u as usize] -= 1;
                 }
             }
-        });
+        }
         debug_assert_eq!(self.marginal[v as usize], 0);
+    }
+
+    /// Sets covered by the most recent selection, as a word-skipping
+    /// iterator of set ids over the engine's covered mask.
+    pub fn covered_sets(&self) -> Ones<'_> {
+        self.set_covered.ones()
     }
 
     /// `argmax_v Λ_R(v)` with the shared tie-breaking; `None` when the pool
@@ -122,6 +264,8 @@ impl CoverageEngine {
         }
         self.fresh_round.clear();
         self.fresh_round.resize(pool.n(), 0);
+        self.last_heap_pops = 0;
+        self.last_heap_pushes = 0;
 
         let mut seeds = Vec::with_capacity(b);
         let mut covered = 0u32;
@@ -137,12 +281,25 @@ impl CoverageEngine {
                 if self.fresh_round[v as usize] == round || current == gain {
                     // cached value is exact for this round
                     self.heap.pop();
+                    self.last_heap_pops += 1;
                     break Some((v, current));
                 }
                 self.heap.pop();
+                self.last_heap_pops += 1;
                 self.fresh_round[v as usize] = round;
-                if current > 0 {
-                    self.heap.push((current, Reverse(v)));
+                if current == 0 {
+                    continue;
+                }
+                // Single-winner fast path: the heap holds at most one entry
+                // per node and the keys are a strict total order, so if the
+                // refreshed entry still beats the next top it would survive
+                // the push + re-pop round-trip untouched — commit directly.
+                match self.heap.peek() {
+                    Some(&top) if (current, Reverse(v)) < top => {
+                        self.heap.push((current, Reverse(v)));
+                        self.last_heap_pushes += 1;
+                    }
+                    _ => break Some((v, current)),
                 }
             };
             let Some((v, gain)) = picked else { break };
@@ -166,23 +323,9 @@ impl CoverageEngine {
         let mut covered = 0u32;
         for _ in 0..b {
             self.last_scanned += self.scan.len();
-            let mut best: Option<(NodeId, u32)> = None;
-            let mut live = 0usize;
-            for r in 0..self.scan.len() {
-                let v = self.scan[r];
-                let c = self.marginal[v as usize];
-                if c == 0 {
-                    // permanently zero by submodularity: drop from the list
-                    continue;
-                }
-                self.scan[live] = v;
-                live += 1;
-                if best.is_none_or(|(bv, bc)| c > bc || (c == bc && v < bv)) {
-                    best = Some((v, c));
-                }
-            }
-            self.scan.truncate(live);
-            let Some((v, gain)) = best else { break };
+            let Some((v, gain)) = scan_best(&mut self.scan, &self.marginal) else {
+                break;
+            };
             seeds.push(v);
             covered += gain;
             self.commit_pick(pool, v);
@@ -209,22 +352,9 @@ impl CoverageEngine {
             if bound(covered as f64) >= target {
                 break true;
             }
-            let mut best: Option<(NodeId, u32)> = None;
-            let mut live = 0usize;
-            for r in 0..self.scan.len() {
-                let v = self.scan[r];
-                let c = self.marginal[v as usize];
-                if c == 0 {
-                    continue;
-                }
-                self.scan[live] = v;
-                live += 1;
-                if best.is_none_or(|(bv, bc)| c > bc || (c == bc && v < bv)) {
-                    best = Some((v, c));
-                }
-            }
-            self.scan.truncate(live);
-            let Some((v, gain)) = best else { break false };
+            let Some((v, gain)) = scan_best(&mut self.scan, &self.marginal) else {
+                break false;
+            };
             seeds.push(v);
             covered += gain;
             self.commit_pick(pool, v);

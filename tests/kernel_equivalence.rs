@@ -1,0 +1,372 @@
+//! Kernel-equivalence properties: the word-parallel coverage kernels (PR:
+//! word-batched `commit_pick`, unrolled candidate scans, CELF single-winner
+//! fast path, word-skipping bitset primitives) must be observationally
+//! identical to the obviously-correct scalar references — bit for bit, on
+//! arbitrary random inputs, including pool sizes that straddle the 64-bit
+//! word boundaries of the covered mask.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use seedmin::sampling::{CoverageEngine, SketchPool};
+use smin_graph::{FixedBitSet, NodeId};
+
+// ---------------------------------------------------------------------------
+// FixedBitSet word primitives vs per-bit references
+// ---------------------------------------------------------------------------
+
+/// Strategy: a bitset capacity and a pseudo-random bit pattern seed.
+fn bits_and_seed() -> impl Strategy<Value = (usize, u64)> {
+    (1usize..200, 0u64..10_000)
+}
+
+fn random_bitset(len: usize, rng: &mut SmallRng, density: f64) -> FixedBitSet {
+    let mut b = FixedBitSet::new(len);
+    for i in 0..len {
+        if rng.random_range(0.0..1.0) < density {
+            b.insert(i);
+        }
+    }
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn insert_word_matches_per_bit_inserts((len, seed) in bits_and_seed()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut word_wise = random_bitset(len, &mut rng, 0.3);
+        let mut bit_wise = word_wise.clone();
+        let words = len.div_ceil(64);
+        for wi in 0..words {
+            // random mask clipped to the capacity of this word
+            let live = (len - (wi << 6)).min(64);
+            let clip = if live == 64 { u64::MAX } else { (1u64 << live) - 1 };
+            let mask = rng.random_range(0..=u64::MAX) & clip;
+            let fresh = word_wise.insert_word(wi, mask);
+            // reference: insert bit by bit, collecting the fresh ones
+            let mut fresh_ref = 0u64;
+            for bit in 0..live {
+                if mask & (1u64 << bit) != 0 && bit_wise.insert((wi << 6) | bit) {
+                    fresh_ref |= 1u64 << bit;
+                }
+            }
+            prop_assert_eq!(fresh, fresh_ref);
+        }
+        let a: Vec<usize> = word_wise.ones().collect();
+        let b: Vec<usize> = bit_wise.ones().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn union_count_matches_union_with_plus_count((len, seed) in bits_and_seed()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = random_bitset(len, &mut rng, 0.4);
+        let b = random_bitset(len, &mut rng, 0.4);
+        let before = a.count_ones();
+        let mut fused = a.clone();
+        let fresh = fused.union_count(&b);
+        let mut reference = a.clone();
+        reference.union_with(&b);
+        prop_assert_eq!(fused.count_ones(), reference.count_ones());
+        prop_assert_eq!(before + fresh, fused.count_ones());
+        let x: Vec<usize> = fused.ones().collect();
+        let y: Vec<usize> = reference.ones().collect();
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn count_ones_range_matches_filtered_ones((len, seed) in bits_and_seed()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let b = random_bitset(len, &mut rng, 0.5);
+        for _ in 0..8 {
+            let lo = rng.random_range(0..=len);
+            let hi = rng.random_range(lo..=len);
+            let word_wise = b.count_ones_range(lo, hi);
+            let scalar = b.ones().filter(|&i| lo <= i && i < hi).count();
+            prop_assert_eq!(word_wise, scalar);
+        }
+    }
+
+    #[test]
+    fn ones_iterator_matches_contains_scan((len, seed) in bits_and_seed()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let b = random_bitset(len, &mut rng, 0.2);
+        let skipping: Vec<usize> = b.ones().collect();
+        let scalar: Vec<usize> = (0..len).filter(|&i| b.contains(i)).collect();
+        prop_assert_eq!(skipping, scalar);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CoverageEngine strategies vs a scalar reference greedy
+// ---------------------------------------------------------------------------
+
+/// Scalar reference: full rescans, per-bit covered flags, the engine's
+/// tie-breaking (higher gain, then smaller id).
+struct ScalarGreedy {
+    n: usize,
+    sets: Vec<Vec<NodeId>>,
+    node_sets: Vec<Vec<u32>>,
+}
+
+impl ScalarGreedy {
+    fn new(n: usize, sets: &[Vec<NodeId>]) -> Self {
+        let mut node_sets = vec![Vec::new(); n];
+        for (id, s) in sets.iter().enumerate() {
+            for &v in s {
+                node_sets[v as usize].push(id as u32);
+            }
+        }
+        ScalarGreedy {
+            n,
+            sets: sets.to_vec(),
+            node_sets,
+        }
+    }
+
+    fn argmax(&self) -> Option<(NodeId, u32)> {
+        let mut best: Option<(NodeId, u32)> = None;
+        for v in 0..self.n as u32 {
+            let c = self.node_sets[v as usize].len() as u32;
+            if c > 0 && best.is_none_or(|(bv, bc)| c > bc || (c == bc && v < bv)) {
+                best = Some((v, c));
+            }
+        }
+        best
+    }
+
+    /// Greedy until `b` picks or `stop(covered)` says done; returns
+    /// (seeds, covered, stopped_by_target).
+    fn greedy(&self, b: usize, stop: impl Fn(u32) -> bool) -> (Vec<NodeId>, u32, bool) {
+        let mut marginal: Vec<u32> = (0..self.n)
+            .map(|v| self.node_sets[v].len() as u32)
+            .collect();
+        let mut covered_sets = vec![false; self.sets.len()];
+        let mut seeds = Vec::new();
+        let mut covered = 0u32;
+        loop {
+            if stop(covered) {
+                return (seeds, covered, true);
+            }
+            if seeds.len() == b {
+                return (seeds, covered, false);
+            }
+            let mut best: Option<(NodeId, u32)> = None;
+            for v in 0..self.n as u32 {
+                let c = marginal[v as usize];
+                if c > 0 && best.is_none_or(|(bv, bc)| c > bc || (c == bc && v < bv)) {
+                    best = Some((v, c));
+                }
+            }
+            let Some((v, gain)) = best else {
+                return (seeds, covered, false);
+            };
+            seeds.push(v);
+            covered += gain;
+            for &s in &self.node_sets[v as usize] {
+                if !covered_sets[s as usize] {
+                    covered_sets[s as usize] = true;
+                    for &u in &self.sets[s as usize] {
+                        marginal[u as usize] -= 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Strategy: random pools whose set count deliberately lands on or near the
+/// covered-mask word boundaries (63/64/65, 127/128/129) a third of the
+/// time, so `insert_word`'s boundary clipping is continuously exercised.
+fn random_pools() -> impl Strategy<Value = (usize, Vec<Vec<NodeId>>)> {
+    (2usize..50, 0u64..10_000).prop_map(|(n, seed)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let batch = if seed % 3 == 0 {
+            [63usize, 64, 65, 127, 128, 129][rng.random_range(0..6usize)]
+        } else {
+            rng.random_range(0..200usize)
+        };
+        let sets = (0..batch)
+            .map(|_| {
+                let size = rng.random_range(0..10usize);
+                let mut s: Vec<NodeId> = (0..size).map(|_| rng.random_range(0..n as u32)).collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        (n, sets)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kernelized_engine_matches_scalar_greedy((n, sets) in random_pools()) {
+        let mut pool = SketchPool::new(n);
+        for s in &sets {
+            pool.add_set(s);
+        }
+        let reference = ScalarGreedy::new(n, &sets);
+        let mut engine = CoverageEngine::new();
+
+        prop_assert_eq!(engine.argmax(&pool), reference.argmax());
+
+        for b in [1usize, 2, 7, 8, 63, 64, 65, 200] {
+            let (seeds, covered, _) = reference.greedy(b, |_| false);
+            let celf = engine.select(&pool, b);
+            prop_assert_eq!(&celf.seeds, &seeds);
+            prop_assert_eq!(celf.covered, covered);
+            let eager = engine.select_eager(&pool, b);
+            prop_assert_eq!(&eager.seeds, &seeds);
+            prop_assert_eq!(eager.covered, covered);
+            // every covered set the kernels marked is genuinely covered
+            prop_assert_eq!(engine.covered_sets().count(), covered as usize);
+        }
+
+        for target in [0.0, 1.0, 16.0, 64.0, 1e9] {
+            let (seeds, covered, reached) =
+                reference.greedy(usize::MAX, |c| f64::from(c) >= target);
+            let (got, got_reached) = engine.select_until(&pool, target, |c| c);
+            prop_assert_eq!(&got.seeds, &seeds);
+            prop_assert_eq!(got.covered, covered);
+            prop_assert_eq!(got_reached, reached);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CELF single-winner fast path: pinned heap-operation counts
+// ---------------------------------------------------------------------------
+
+fn pool_from(sets: &[&[NodeId]], n: usize) -> SketchPool {
+    let mut p = SketchPool::new(n);
+    for s in sets {
+        p.add_set(s);
+    }
+    p
+}
+
+/// A refreshed top that still beats the rest of the heap must commit
+/// without the push + re-pop round-trip.
+#[test]
+fn celf_fast_path_skips_the_reheap() {
+    // node 0: sets 0..9 (gain 10); node 1: shares sets 0..2 plus own
+    // 10..14 (gain 8, refreshes to 5 after node 0); node 2: sets 15..18
+    // (gain 4). After picking node 0, node 1's stale top refreshes to 5,
+    // which still beats node 2's 4 — the fast path commits it directly.
+    let mut sets: Vec<Vec<NodeId>> = Vec::new();
+    for _ in 0..3 {
+        sets.push(vec![0, 1]); // shared
+    }
+    for _ in 0..7 {
+        sets.push(vec![0]);
+    }
+    for _ in 0..5 {
+        sets.push(vec![1]);
+    }
+    for _ in 0..4 {
+        sets.push(vec![2]);
+    }
+    let refs: Vec<&[NodeId]> = sets.iter().map(|s| s.as_slice()).collect();
+    let pool = pool_from(&refs, 3);
+
+    let mut engine = CoverageEngine::new();
+    let g = engine.select(&pool, 3);
+    assert_eq!(g.seeds, vec![0, 1, 2]);
+    assert_eq!(g.covered, 19);
+    // round 1: pop node 0 (cached gain exact); round 2: pop node 1 stale,
+    // refresh 8 -> 5, fast path (5 > node 2's 4) commits with no push;
+    // round 3: pop node 2 (cached gain exact).
+    assert_eq!(engine.last_heap_pops, 3, "pop count drifted");
+    assert_eq!(engine.last_heap_pushes, 0, "fast path failed to engage");
+}
+
+/// A refreshed top that falls behind the heap must be pushed back — the
+/// fast path must not engage.
+#[test]
+fn celf_reheap_still_taken_when_refresh_loses() {
+    // node 0: sets 0..9; node 1: shares 6 of them plus own 2 (gain 8,
+    // refreshes to 2 after node 0 — now behind node 2's 4).
+    let mut sets: Vec<Vec<NodeId>> = Vec::new();
+    for _ in 0..6 {
+        sets.push(vec![0, 1]);
+    }
+    for _ in 0..4 {
+        sets.push(vec![0]);
+    }
+    for _ in 0..2 {
+        sets.push(vec![1]);
+    }
+    for _ in 0..4 {
+        sets.push(vec![2]);
+    }
+    let refs: Vec<&[NodeId]> = sets.iter().map(|s| s.as_slice()).collect();
+    let pool = pool_from(&refs, 3);
+
+    let mut engine = CoverageEngine::new();
+    let g = engine.select(&pool, 3);
+    assert_eq!(g.seeds, vec![0, 2, 1]);
+    assert_eq!(g.covered, 16);
+    // round 1: pop node 0; round 2: pop node 1 stale (8 -> 2, behind 4),
+    // push it back, pop node 2 fresh; round 3: pop node 1 (cached exact).
+    assert_eq!(engine.last_heap_pops, 4, "pop count drifted");
+    assert_eq!(engine.last_heap_pushes, 1, "push-back count drifted");
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count identity through the kernelized engine
+// ---------------------------------------------------------------------------
+
+/// TRIM-B selections driven through the kernelized engine are byte-identical
+/// at 1 and 4 sketch-generation threads, and so is the engine's recorded
+/// heap traffic (selection is single-threaded downstream of the pool).
+#[test]
+fn trim_b_selections_identical_across_thread_counts() {
+    use seedmin::algo::trim::TrimScratch;
+    use seedmin::algo::trim_b::trim_b;
+    use seedmin::diffusion::{Model, ResidualState};
+    use seedmin::graph::generators::{assemble, chung_lu_directed};
+    use seedmin::graph::WeightModel;
+    use seedmin::prelude::TrimParams;
+
+    let mut rng = SmallRng::seed_from_u64(0x51CC);
+    let pairs = chung_lu_directed(500, 2_000, 2.1, &mut rng);
+    let g = assemble(500, &pairs, true, WeightModel::WeightedCascade, &mut rng).unwrap();
+    let residual = ResidualState::new(500);
+
+    let mut baseline: Option<(Vec<u32>, u32, usize, usize, usize)> = None;
+    for threads in [1usize, 4] {
+        let params = TrimParams::with_eps(0.4).with_threads(threads);
+        let mut scratch = TrimScratch::new(g.n());
+        let mut rng = SmallRng::seed_from_u64(0xFA57);
+        let out = trim_b(
+            &g,
+            Model::IC,
+            &residual,
+            50,
+            4,
+            &params,
+            &mut scratch,
+            &mut rng,
+        )
+        .unwrap();
+        let state = (
+            out.seeds.clone(),
+            out.coverage,
+            out.sets_generated,
+            scratch.engine().last_heap_pops,
+            scratch.engine().last_heap_pushes,
+        );
+        match &baseline {
+            None => baseline = Some(state),
+            Some(base) => assert_eq!(&state, base, "{threads} threads diverged"),
+        }
+    }
+    let (seeds, _, _, pops, _) = baseline.unwrap();
+    assert!(!seeds.is_empty());
+    assert!(pops >= seeds.len(), "every committed pick costs >= 1 pop");
+}
