@@ -23,7 +23,10 @@ const DETERMINISTIC_CRATES: &[&str] = &[
 ];
 
 /// `smin-service` modules a request flows through; a panic here kills a
-/// worker thread mid-connection, so only structured errors are allowed.
+/// worker thread mid-connection — or, worse, the epoll poll thread that
+/// owns every connection — so only structured errors are allowed. The
+/// no-wall-clock rule also applies: the event loop keeps time exclusively
+/// through its monotonic epoch (one justified in-source allow).
 const REQUEST_PATH_FILES: &[&str] = &[
     "crates/service/src/http.rs",
     "crates/service/src/routes.rs",
@@ -32,6 +35,8 @@ const REQUEST_PATH_FILES: &[&str] = &[
     "crates/service/src/registry.rs",
     "crates/service/src/error.rs",
     "crates/service/src/server.rs",
+    "crates/service/src/event_loop.rs",
+    "crates/service/src/platform.rs",
 ];
 
 /// Files allowed to perform the narrowing the `checked-cast` rule forbids —
@@ -152,6 +157,10 @@ mod tests {
 
         let svc = rules_for("crates/service/src/routes.rs").unwrap();
         assert!(svc.panic_in_request_path && svc.hash_iteration);
+        let el = rules_for("crates/service/src/event_loop.rs").unwrap();
+        assert!(el.panic_in_request_path && el.wall_clock);
+        let platform = rules_for("crates/service/src/platform.rs").unwrap();
+        assert!(platform.panic_in_request_path && platform.wall_clock);
         let core = rules_for("crates/core/src/trim.rs").unwrap();
         assert!(!core.panic_in_request_path && core.wall_clock && core.checked_cast);
         let helper = rules_for("crates/graph/src/cast.rs").unwrap();

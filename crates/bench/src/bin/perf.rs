@@ -9,7 +9,11 @@
 //!
 //! * `BENCH_coverage.json` — the per-pick kernels: the argmax candidate
 //!   scan and the b = 8 greedy strategies (eager compacted scan vs CELF),
-//!   plus `SketchPool::heap_bytes()` per pool size;
+//!   plus `SketchPool::heap_bytes()` per pool size. Also folds in the two
+//!   Criterion-only fixtures so their medians ride the recorded
+//!   trajectory: `trim_round` (Algorithms 2/3 across thread counts, the
+//!   `trim_round` bench fixture) and `rounding` (the §3.3 root-count
+//!   rounding ablation, the `ablation_rounding` bench fixture);
 //! * `BENCH_select.json` — deep selections (b = 64) where `commit_pick`
 //!   and the CELF reheap dominate, plus the CELF heap-operation counts
 //!   that pin the single-winner fast path.
@@ -122,22 +126,31 @@ fn time_us(iters: usize, reps: usize, mut f: impl FnMut()) -> Dist {
     Dist { sorted_us }
 }
 
-/// The `coverage_greedy` bench fixture, reproduced without Criterion: a
-/// pinned Chung–Lu graph and an mRR pool of exactly `sets` sketches.
-fn build_pool(sets: usize) -> smin_sampling::SketchPool {
+/// The shared bench graph (the Criterion `common::bench_graph` fixture):
+/// a pinned 2k/8k Chung–Lu WC graph.
+fn bench_graph() -> smin_graph::Graph {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
-    use smin_diffusion::{Model, ResidualState};
     use smin_graph::generators::{assemble, chung_lu_directed};
     use smin_graph::WeightModel;
-    use smin_sampling::{MrrSampler, RootCountDist, SketchPool};
 
     let n = 2_000;
     let mut rng = SmallRng::seed_from_u64(0xBEEF);
     let pairs = chung_lu_directed(n, 8_000, 2.1, &mut rng);
-    let g = assemble(n, &pairs, true, WeightModel::WeightedCascade, &mut rng)
-        .expect("valid generator output");
+    assemble(n, &pairs, true, WeightModel::WeightedCascade, &mut rng)
+        .expect("valid generator output")
+}
 
+/// The `coverage_greedy` bench fixture, reproduced without Criterion: the
+/// pinned bench graph and an mRR pool of exactly `sets` sketches.
+fn build_pool(sets: usize) -> smin_sampling::SketchPool {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use smin_diffusion::{Model, ResidualState};
+    use smin_sampling::{MrrSampler, RootCountDist, SketchPool};
+
+    let g = bench_graph();
+    let n = g.n();
     let residual = ResidualState::new(n);
     let mut sampler = MrrSampler::new(n);
     let mut rng = SmallRng::seed_from_u64(4);
@@ -222,16 +235,19 @@ fn run(args: &PerfArgs) -> Result<(), String> {
         ));
     }
 
+    let trim_rows = time_trim_rounds(args.iters);
+    let rounding_rows = time_rounding(args.iters);
+
     std::fs::create_dir_all(&args.out_dir)
         .map_err(|e| format!("create --out-dir {}: {e}", args.out_dir))?;
-    let write = |name: &str, bench: &str, rows: &[String]| -> Result<(), String> {
+    let write = |name: &str, bench: &str, rows: &[String], extra: &str| -> Result<(), String> {
         let path = std::path::Path::new(&args.out_dir).join(name);
         let json = format!(
             "{{\n  \
                \"bench\": \"{bench}\",\n  \
                \"iters\": {iters},\n  \
                \"smoke\": {smoke},\n  \
-               \"pools\": [\n{rows}\n  ]\n}}\n",
+               \"pools\": [\n{rows}\n  ]{extra}\n}}\n",
             iters = args.iters,
             smoke = args.smoke,
             rows = rows.join(",\n"),
@@ -240,9 +256,130 @@ fn run(args: &PerfArgs) -> Result<(), String> {
         println!("wrote {}", path.display());
         Ok(())
     };
-    write("BENCH_coverage.json", "coverage", &coverage_rows)?;
-    write("BENCH_select.json", "select", &select_rows)?;
+    let coverage_extra = format!(
+        ",\n  \"trim_round\": [\n{}\n  ],\n  \"rounding\": [\n{}\n  ]",
+        trim_rows.join(",\n"),
+        rounding_rows.join(",\n"),
+    );
+    write(
+        "BENCH_coverage.json",
+        "coverage",
+        &coverage_rows,
+        &coverage_extra,
+    )?;
+    write("BENCH_select.json", "select", &select_rows, "")?;
     Ok(())
+}
+
+/// The `trim_round` Criterion fixture without Criterion: one full TRIM
+/// round (Algorithm 2) and one TRIM-B round (Algorithm 3, b ∈ {2, 8})
+/// on the bench graph, across sketch-generation thread counts.
+fn time_trim_rounds(iters: usize) -> Vec<String> {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use smin_core::trim::{trim, TrimScratch};
+    use smin_core::trim_b::trim_b;
+    use smin_core::TrimParams;
+    use smin_diffusion::{Model, ResidualState};
+
+    let g = bench_graph();
+    let n = g.n();
+    let mut rows = Vec::new();
+    for &threads in &[1usize, 4] {
+        let params = TrimParams::with_eps(0.5).with_threads(threads);
+        for &eta in &[100usize, 400] {
+            eprintln!("timing trim rounds: threads={threads} eta={eta} ...");
+            let mut scratch = TrimScratch::new(n);
+            let mut rng = SmallRng::seed_from_u64(3);
+            let trim_d = time_us(iters, 1, || {
+                let residual = ResidualState::new(n);
+                let out = trim(
+                    &g,
+                    Model::IC,
+                    &residual,
+                    eta,
+                    &params,
+                    &mut scratch,
+                    &mut rng,
+                )
+                .expect("valid");
+                std::hint::black_box(out.node);
+            });
+            let mut b_dists = Vec::new();
+            for &b in &[2usize, 8] {
+                let mut scratch = TrimScratch::new(n);
+                let mut rng = SmallRng::seed_from_u64(3);
+                b_dists.push(time_us(iters, 1, || {
+                    let residual = ResidualState::new(n);
+                    let out = trim_b(
+                        &g,
+                        Model::IC,
+                        &residual,
+                        eta,
+                        b,
+                        &params,
+                        &mut scratch,
+                        &mut rng,
+                    )
+                    .expect("valid");
+                    std::hint::black_box(out.seeds.len());
+                }));
+            }
+            println!(
+                "trim t{threads} eta {eta:>3}: trim {:9.1} us | b2 {:9.1} us | b8 {:9.1} us",
+                trim_d.median(),
+                b_dists[0].median(),
+                b_dists[1].median(),
+            );
+            rows.push(format!(
+                "    {{\n      \
+                   \"threads\": {threads},\n      \
+                   \"eta\": {eta},\n      \
+                   \"trim_us\": {trim},\n      \
+                   \"trim_b2_us\": {b2},\n      \
+                   \"trim_b8_us\": {b8}\n    }}",
+                trim = trim_d.json(),
+                b2 = b_dists[0].json(),
+                b8 = b_dists[1].json(),
+            ));
+        }
+    }
+    rows
+}
+
+/// The `ablation_rounding` Criterion fixture without Criterion: mRR
+/// sampling time under the three §3.3 root-count rounding variants.
+fn time_rounding(iters: usize) -> Vec<String> {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use smin_diffusion::{Model, ResidualState};
+    use smin_sampling::{MrrSampler, RootCountDist};
+
+    let g = bench_graph();
+    let n = g.n();
+    let mut rows = Vec::new();
+    for (name, dist) in [
+        ("randomized", RootCountDist::Randomized),
+        ("fixed_floor", RootCountDist::FixedFloor),
+        ("fixed_ceil", RootCountDist::FixedCeil),
+    ] {
+        for &eta in &[30usize, 300] {
+            let residual = ResidualState::new(n);
+            let mut sampler = MrrSampler::new(n);
+            let mut rng = SmallRng::seed_from_u64(9);
+            let mut out = Vec::new();
+            let d = time_us(iters, 1, || {
+                sampler.sample_into(&g, Model::IC, &residual, eta, dist, &mut rng, &mut out);
+                std::hint::black_box(out.len());
+            });
+            println!("rounding {name:>11} eta {eta:>3}: {:9.1} us", d.median());
+            rows.push(format!(
+                "    {{ \"dist\": \"{name}\", \"eta\": {eta}, \"sample_us\": {} }}",
+                d.json(),
+            ));
+        }
+    }
+    rows
 }
 
 fn main() {

@@ -1,6 +1,6 @@
 //! `svc_load` — keep-alive load generator for the `asm serve` service.
 //!
-//! Two modes:
+//! Modes:
 //!
 //! * **Smoke** (`--smoke`): one `/healthz`, one graph registration, one
 //!   `/v1/select`; exits non-zero on any non-2xx status or malformed JSON.
@@ -12,6 +12,20 @@
 //!   `smin_bench::stats`), requests/sec, cache behavior, and the cold→warm
 //!   ratio between the first and second request — the registry+recycled-pool
 //!   payoff the service exists for.
+//!
+//! Two add-on phases extend a load run (and its `--out` artifact):
+//!
+//! * `--connections N` opens N keep-alive connections and holds **all of
+//!   them open at once** while pinging `/healthz` on each — the epoll
+//!   event loop's whole point (the threaded transport pins one worker per
+//!   connection and would wedge long before N = 512 on 4 threads). Any
+//!   connect or ping failure exits non-zero.
+//! * `--batch K` measures the `/v1/select-batch` amortization: the same
+//!   uncached selections fired one-per-request and then K-per-batch, on a
+//!   small fixed graph where per-request overhead (framing, dispatch,
+//!   round trip, session checkout) dominates per-item compute. Reports
+//!   per-item medians and their ratio; `--batch-min-speedup F` turns the
+//!   ratio into a hard gate.
 //!
 //! ```text
 //! svc_load --addr 127.0.0.1:7878 --smoke
@@ -40,6 +54,9 @@ struct LoadArgs {
     seed: u64,
     distinct_seeds: bool,
     no_cache: bool,
+    connections: usize,
+    batch: usize,
+    batch_min_speedup: f64,
     out: Option<String>,
 }
 
@@ -50,10 +67,18 @@ USAGE:
   svc_load --addr HOST:PORT [--smoke]
            [--requests N] [--clients C] [--n NODES] [--attach K]
            [--eta N] [--eps F] [--seed N] [--distinct-seeds] [--no-cache]
+           [--connections N] [--batch K] [--batch-min-speedup F]
            [--out FILE]
 
+--connections N   hold N keep-alive connections open simultaneously and
+                  ping /healthz on every one (exits non-zero on any error)
+--batch K         compare uncached per-item latency of /v1/select vs
+                  /v1/select-batch with K items per batch
+--batch-min-speedup F  fail unless batch speedup >= F (e.g. 2.0)
+
 --out (load mode) also writes the run as a JSON trajectory artifact
-(latency percentiles, req/s, cold->warm split) in the BENCH_*.json style
+(latency percentiles, req/s, cold->warm split, plus `connections` and
+`batch` sections when those phases ran) in the BENCH_*.json style
 consumed by `asm bench-check`.";
 
 fn parse_args() -> Result<LoadArgs, String> {
@@ -69,6 +94,9 @@ fn parse_args() -> Result<LoadArgs, String> {
         seed: 42,
         distinct_seeds: false,
         no_cache: false,
+        connections: 0,
+        batch: 0,
+        batch_min_speedup: 0.0,
         out: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -90,6 +118,11 @@ fn parse_args() -> Result<LoadArgs, String> {
             "--eta" => out.eta = parse(value("--eta")?, "--eta")?,
             "--eps" => out.eps = parse(value("--eps")?, "--eps")?,
             "--seed" => out.seed = parse(value("--seed")?, "--seed")?,
+            "--connections" => out.connections = parse(value("--connections")?, "--connections")?,
+            "--batch" => out.batch = parse(value("--batch")?, "--batch")?,
+            "--batch-min-speedup" => {
+                out.batch_min_speedup = parse(value("--batch-min-speedup")?, "--batch-min-speedup")?
+            }
             "--out" => out.out = Some(value("--out")?.clone()),
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -106,6 +139,9 @@ fn parse_args() -> Result<LoadArgs, String> {
     }
     if out.eta == 0 {
         out.eta = (out.n / 20).max(1);
+    }
+    if out.batch_min_speedup > 0.0 && out.batch == 0 {
+        return Err("--batch-min-speedup needs --batch K".into());
     }
     Ok(out)
 }
@@ -230,6 +266,166 @@ fn run_client(
     outcome
 }
 
+struct ConnectionsStats {
+    count: usize,
+    healthz_us: Vec<f64>,
+}
+
+/// Opens `--connections` keep-alive connections, keeps every one of them
+/// open simultaneously, then pings `/healthz` on each. Fails fast on any
+/// connect or request error: the acceptance bar is "N concurrent idle
+/// connections, zero errors", not a best-effort count.
+fn connections_phase(args: &LoadArgs) -> Result<ConnectionsStats, String> {
+    println!(
+        "connections: opening {} simultaneous keep-alive connections...",
+        args.connections
+    );
+    let mut clients = Vec::with_capacity(args.connections);
+    for i in 0..args.connections {
+        let c = Client::connect(&args.addr)
+            .map_err(|e| format!("connections: connect #{i} (of {}): {e}", args.connections))?;
+        clients.push(c);
+    }
+    // All sockets are open and idle now; every one must still be usable.
+    let mut healthz_us = Vec::with_capacity(clients.len());
+    for (i, c) in clients.iter_mut().enumerate() {
+        let started = Instant::now();
+        let resp = c
+            .get("/healthz")
+            .map_err(|e| format!("connections: healthz on #{i}: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!(
+                "connections: healthz on #{i}: HTTP {} — {}",
+                resp.status,
+                resp.text()
+            ));
+        }
+        healthz_us.push(started.elapsed().as_secs_f64() * 1e6);
+    }
+    let summary = stats::summarize(&healthz_us).ok_or("connections: no pings completed")?;
+    println!(
+        "connections: {} open at once, {} healthz ok, p50 = {:.1} us, max = {:.1} us",
+        clients.len(),
+        healthz_us.len(),
+        summary.p50,
+        summary.max,
+    );
+    Ok(ConnectionsStats {
+        count: clients.len(),
+        healthz_us,
+    })
+}
+
+struct BatchStats {
+    k: usize,
+    items: usize,
+    single_item_us: Vec<f64>,
+    batch_item_us: Vec<f64>,
+    speedup: f64,
+}
+
+/// Number of `/v1/select-batch` requests the batch phase fires (the single
+/// phase fires `BATCH_ROUNDS * k` individual selects over the same seeds).
+const BATCH_ROUNDS: usize = 8;
+
+/// Measures the select-batch amortization on a small fixed graph where
+/// per-request overhead dominates per-item compute. Both passes run the
+/// identical uncached selections (same seeds, same graph), so the only
+/// difference is how many HTTP requests, dispatches, and session
+/// checkouts carry them.
+fn batch_phase(args: &LoadArgs) -> Result<BatchStats, String> {
+    let k = args.batch;
+    let items = BATCH_ROUNDS * k;
+    let mut c = Client::connect(&args.addr).map_err(|e| format!("batch: connect: {e}"))?;
+
+    // A deliberately tiny workload: the phase measures how well the batch
+    // endpoint amortizes *per-request* costs (framing, dispatch handoffs,
+    // round trips, session checkout), so per-item compute is pinned far
+    // below them via a small graph and a hard theta cap.
+    let graph_id = "svc-load-batch";
+    let register =
+        format!(r#"{{"id":"{graph_id}","generate":{{"kind":"er","n":32,"m":64,"seed":11}}}}"#);
+    let resp = c
+        .post("/v1/graphs", &register)
+        .map_err(|e| format!("batch: POST /v1/graphs: {e}"))?;
+    if resp.status != 201 && resp.status != 409 {
+        return Err(format!(
+            "batch: POST /v1/graphs: HTTP {} — {}",
+            resp.status,
+            resp.text()
+        ));
+    }
+
+    // threads:1 keeps sketch generation inline — per-item compute lands
+    // around tens of microseconds, so the per-request machinery being
+    // amortized (not the selection kernel) is what the ratio measures.
+    let item_fields = |i: usize| {
+        format!(
+            r#""eta":4,"theta_cap":8,"threads":1,"seed":{},"cache":false"#,
+            args.seed + i as u64
+        )
+    };
+    let expect_200 = |what: &str, resp: Result<ClientResponse, String>| -> Result<(), String> {
+        let resp = resp.map_err(|e| format!("{what}: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("{what}: HTTP {} — {}", resp.status, resp.text()));
+        }
+        Ok(())
+    };
+
+    // Warm the session shelf untimed so neither pass pays first-touch
+    // pool-construction costs.
+    for w in 0..2 {
+        let body = format!(r#"{{"graph":"{graph_id}",{}}}"#, item_fields(1_000_000 + w));
+        expect_200("batch: warmup select", c.post("/v1/select", &body))?;
+    }
+
+    println!("batch: {items} uncached selects one-per-request...");
+    let mut single_item_us = Vec::with_capacity(items);
+    for i in 0..items {
+        let body = format!(r#"{{"graph":"{graph_id}",{}}}"#, item_fields(i));
+        let started = Instant::now();
+        expect_200("batch: single select", c.post("/v1/select", &body))?;
+        single_item_us.push(started.elapsed().as_secs_f64() * 1e6);
+    }
+
+    println!("batch: the same {items} selects as {BATCH_ROUNDS} batches of {k}...");
+    let mut batch_item_us = Vec::with_capacity(BATCH_ROUNDS);
+    for b in 0..BATCH_ROUNDS {
+        let body_items: Vec<String> = (b * k..(b + 1) * k)
+            .map(|i| format!("{{{}}}", item_fields(i)))
+            .collect();
+        let body = format!(
+            r#"{{"graph":"{graph_id}","items":[{}]}}"#,
+            body_items.join(",")
+        );
+        let started = Instant::now();
+        expect_200("batch: select-batch", c.post("/v1/select-batch", &body))?;
+        batch_item_us.push(started.elapsed().as_secs_f64() * 1e6 / k as f64);
+    }
+
+    let single = stats::summarize(&single_item_us).ok_or("batch: no single selects completed")?;
+    let batched = stats::summarize(&batch_item_us).ok_or("batch: no batches completed")?;
+    let speedup = single.p50 / batched.p50.max(1e-9);
+    println!(
+        "batch: per-item p50 {:.1} us single vs {:.1} us batched (k={k}) = {speedup:.2}x",
+        single.p50, batched.p50,
+    );
+    if args.batch_min_speedup > 0.0 && speedup < args.batch_min_speedup {
+        return Err(format!(
+            "batch: speedup {speedup:.2}x below required {:.2}x",
+            args.batch_min_speedup
+        ));
+    }
+    Ok(BatchStats {
+        k,
+        items,
+        single_item_us,
+        batch_item_us,
+        speedup,
+    })
+}
+
 fn load(args: &LoadArgs) -> Result<(), String> {
     let mut c = Client::connect(&args.addr).map_err(|e| format!("connect {}: {e}", args.addr))?;
     expect_json("GET /healthz", c.get("/healthz"))?;
@@ -333,6 +529,17 @@ fn load(args: &LoadArgs) -> Result<(), String> {
         ));
     }
 
+    let conn_stats = if args.connections > 0 {
+        Some(connections_phase(args)?)
+    } else {
+        None
+    };
+    let batch_stats = if args.batch > 0 {
+        Some(batch_phase(args)?)
+    } else {
+        None
+    };
+
     if let Some(path) = &args.out {
         // Hand-formatted like the other BENCH_*.json artifacts. Only the
         // "median" leaf gates under `asm bench-check`; the tail percentiles,
@@ -345,6 +552,22 @@ fn load(args: &LoadArgs) -> Result<(), String> {
             ),
             _ => "null".to_string(),
         };
+        let mut extra = String::new();
+        if let Some(conn) = &conn_stats {
+            let s = stats::summarize(&conn.healthz_us).ok_or("connections: empty stats")?;
+            extra.push_str(&format!(
+                ",\n  \"connections\": {{ \"count\": {}, \"healthz_us\": {{ \"median\": {:.1}, \"max\": {:.1} }} }}",
+                conn.count, s.p50, s.max,
+            ));
+        }
+        if let Some(b) = &batch_stats {
+            let single = stats::summarize(&b.single_item_us).ok_or("batch: empty stats")?;
+            let batched = stats::summarize(&b.batch_item_us).ok_or("batch: empty stats")?;
+            extra.push_str(&format!(
+                ",\n  \"batch\": {{ \"k\": {}, \"items\": {}, \"single_per_item_us\": {{ \"median\": {:.1} }}, \"batch_per_item_us\": {{ \"median\": {:.1} }}, \"speedup\": {:.2} }}",
+                b.k, b.items, single.p50, batched.p50, b.speedup,
+            ));
+        }
         let json = format!(
             "{{\n  \
                \"bench\": \"svc_load\",\n  \
@@ -358,7 +581,7 @@ fn load(args: &LoadArgs) -> Result<(), String> {
                \"cache_hits\": {cache_hits},\n  \
                \"req_per_s\": {rps:.1},\n  \
                \"latency_us\": {{ \"median\": {p50:.1}, \"p95\": {p95:.1}, \"p99\": {p99:.1}, \"min\": {min:.1}, \"max\": {max:.1}, \"mean\": {mean:.1} }},\n  \
-               \"cold_to_warm\": {cold_warm}\n}}\n",
+               \"cold_to_warm\": {cold_warm}{extra}\n}}\n",
             requests = args.requests,
             clients = args.clients,
             n = args.n,

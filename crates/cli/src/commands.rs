@@ -294,6 +294,8 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     let cache_capacity: usize = f.get_or("cache", 1024)?;
     // Durable registry root: created on first use, restored on every boot.
     let state_dir = f.get("state-dir").map(std::path::PathBuf::from);
+    let transport = smin_service::Transport::parse(f.get("transport").unwrap_or("auto"))?;
+    let max_pending: usize = f.get_or("max-pending", 1024)?;
 
     let config = smin_service::ServerConfig {
         addr,
@@ -301,12 +303,16 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         graphs_dir: graphs_dir.clone(),
         state_dir: state_dir.clone(),
         cache_capacity,
+        transport,
+        max_pending,
+        ..smin_service::ServerConfig::default()
     };
     let server =
         smin_service::Server::bind(&config).map_err(|e| format!("{}: {e}", config.addr))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     println!(
-        "asm serve: listening on http://{addr} ({workers} workers, graphs dir: {}, state dir: {}, cache: {cache_capacity})",
+        "asm serve: listening on http://{addr} ({workers} workers, transport: {:?}, graphs dir: {}, state dir: {}, cache: {cache_capacity}, max pending: {max_pending})",
+        server.resolved_transport(),
         graphs_dir
             .as_deref()
             .map_or("disabled".to_string(), |p| p.display().to_string()),
@@ -314,7 +320,7 @@ pub fn serve(args: &[String]) -> Result<(), String> {
             .as_deref()
             .map_or("none".to_string(), |p| p.display().to_string()),
     );
-    println!("endpoints: GET /healthz · GET/POST /v1/graphs · DELETE /v1/graphs/{{id}} · POST /v1/select");
+    println!("endpoints: GET /healthz · GET/POST /v1/graphs · DELETE /v1/graphs/{{id}} · POST /v1/select · POST /v1/select-batch");
     static NEVER_STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
     server.run(&NEVER_STOP).map_err(|e| e.to_string())
 }
@@ -616,6 +622,8 @@ mod tests {
         assert!(err.contains("--graphs-dir"), "got: {err}");
         let err = serve(&to_args(&["--addr", "definitely:not:an:addr"])).unwrap_err();
         assert!(err.contains("definitely"), "got: {err}");
+        let err = serve(&to_args(&["--transport", "uring"])).unwrap_err();
+        assert!(err.contains("uring"), "got: {err}");
     }
 
     #[test]

@@ -26,7 +26,8 @@ USAGE:
           (--eta N | --eta-frac F) [--model ic|lt] [--eps F] [--seed N]
           [--worlds K] [--threads T] [--audit FILE]
   asm serve [--addr HOST:PORT] [--graphs-dir DIR] [--state-dir DIR]
-            [--threads T] [--cache N]
+            [--threads T] [--cache N] [--transport auto|epoll|threaded]
+            [--max-pending N]
   asm lint [--root DIR] [--format human|json] [--baseline FILE]
            [--no-baseline] [--write-baseline]
   asm bench-check --baseline FILE --current FILE [--tol F]
@@ -57,10 +58,18 @@ ReplayOracle to reproduce the campaign without the original world.
 serve starts the long-running seed-selection service: graphs register once
 (POST /v1/graphs, loaded from --graphs-dir or generated) and stay cached in
 memory with warm sketch-pool sessions; POST /v1/select runs TRIM / TRIM-B /
-ASTI with per-request eta, model, eps, batch, seed. Same request body =>
-byte-identical response, for every thread count. --threads sets the
-connection worker count (default SMIN_THREADS, then all cores); --cache
-bounds the memoized-response count (default 1024, 0 disables). --state-dir
+ASTI with per-request eta, model, eps, batch, seed, and POST
+/v1/select-batch runs many items against one graph resolution and one warm
+session. Same request body => byte-identical response, for every thread
+count and both transports. --transport picks the service core: 'epoll' is
+the readiness event loop (one poll thread multiplexing every connection,
+--threads dispatch workers), 'threaded' the portable worker-per-connection
+fallback, 'auto' (default) probes the kernel. --max-pending is the
+admission high-water mark: queued + running requests beyond it get a
+deterministic 429 (default 1024). Requests may carry X-Deadline-Millis; a
+request whose budget expires before dispatch gets a structured 504.
+--threads sets the worker count (default SMIN_THREADS, then all cores);
+--cache bounds the memoized-response count (default 1024, 0 disables). --state-dir
 makes the registry durable: every registered graph is snapshotted to
 DIR/graphs/<id>.smg and indexed in DIR/manifest.json, and a restarted
 server reloads all of them — same ids, same checksum-derived tokens — with

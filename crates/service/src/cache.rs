@@ -17,6 +17,8 @@ pub struct SelectCache {
     capacity: usize,
     map: BTreeMap<String, Arc<[u8]>>,
     order: VecDeque<String>,
+    hits: u64,
+    misses: u64,
 }
 
 impl SelectCache {
@@ -26,12 +28,26 @@ impl SelectCache {
             capacity,
             map: BTreeMap::new(),
             order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
         }
     }
 
-    /// The cached response body for `key`, if any.
-    pub fn get(&self, key: &str) -> Option<Arc<[u8]>> {
-        self.map.get(key).cloned()
+    /// The cached response body for `key`, if any. Counts hit/miss totals
+    /// for `/healthz` observability.
+    pub fn get(&mut self, key: &str) -> Option<Arc<[u8]>> {
+        let found = self.map.get(key).cloned();
+        if found.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        found
+    }
+
+    /// Lifetime `(hits, misses)` across every [`SelectCache::get`].
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 
     /// Stores a response body, evicting the oldest entry at capacity.
@@ -96,6 +112,17 @@ mod tests {
         c.insert("a".into(), body("other"));
         assert_eq!(c.get("a").unwrap().as_ref(), b"1");
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = SelectCache::new(2);
+        assert_eq!(c.stats(), (0, 0));
+        c.get("a");
+        c.insert("a".into(), body("1"));
+        c.get("a");
+        c.get("a");
+        assert_eq!(c.stats(), (2, 1));
     }
 
     #[test]

@@ -59,17 +59,27 @@ impl Client {
 
     /// `GET path`.
     pub fn get(&mut self, path: &str) -> Result<ClientResponse, String> {
-        self.request("GET", path, None)
+        self.request("GET", path, None, &[])
     }
 
     /// `POST path` with a JSON body.
     pub fn post(&mut self, path: &str, body: &str) -> Result<ClientResponse, String> {
-        self.request("POST", path, Some(body.as_bytes()))
+        self.request("POST", path, Some(body.as_bytes()), &[])
+    }
+
+    /// `POST path` with extra request headers (e.g. `X-Deadline-Millis`).
+    pub fn post_with_headers(
+        &mut self,
+        path: &str,
+        body: &str,
+        extra: &[(&str, &str)],
+    ) -> Result<ClientResponse, String> {
+        self.request("POST", path, Some(body.as_bytes()), extra)
     }
 
     /// `DELETE path`.
     pub fn delete(&mut self, path: &str) -> Result<ClientResponse, String> {
-        self.request("DELETE", path, None)
+        self.request("DELETE", path, None, &[])
     }
 
     fn request(
@@ -77,11 +87,16 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<&[u8]>,
+        extra: &[(&str, &str)],
     ) -> Result<ClientResponse, String> {
         let body = body.unwrap_or(&[]);
+        let mut extra_lines = String::new();
+        for (k, v) in extra {
+            extra_lines.push_str(&format!("{k}: {v}\r\n"));
+        }
         write!(
             self.writer,
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n{extra_lines}Content-Length: {}\r\n\r\n",
             self.host,
             body.len(),
         )

@@ -11,7 +11,7 @@
 //! ([`GraphError`]) map onto stable machine-readable codes, so clients can
 //! branch on `code` without parsing prose.
 
-use crate::http::Response;
+use crate::http::{Request, Response};
 use smin_core::AsmError;
 use smin_graph::error::GraphError;
 
@@ -42,6 +42,36 @@ impl ServiceError {
         ServiceError::new(404, code, message)
     }
 
+    /// 408 — the peer started a request (head parsed) but stalled past the
+    /// request timeout. The body is deterministic so tests can pin it.
+    pub fn request_timeout() -> Self {
+        ServiceError::new(
+            408,
+            "request_timeout",
+            "request timed out before the body completed",
+        )
+    }
+
+    /// 429 — admission control: the pending-dispatch queue is at its
+    /// high-water mark. Deterministic body, pinned by the overload test.
+    pub fn overloaded() -> Self {
+        ServiceError::new(
+            429,
+            "overloaded",
+            "pending request queue is full; retry later",
+        )
+    }
+
+    /// 504 — the request's own `X-Deadline-Millis` budget was exhausted
+    /// before a dispatch thread could start it.
+    pub fn deadline_exceeded(deadline_ms: u64) -> Self {
+        ServiceError::new(
+            504,
+            "deadline_exceeded",
+            format!("deadline of {deadline_ms}ms exceeded before dispatch"),
+        )
+    }
+
     /// The response body `{"error": {...}}`.
     pub fn to_value(&self) -> serde_json::Value {
         serde_json::Value::Object(vec![(
@@ -57,6 +87,21 @@ impl ServiceError {
     /// Renders the error as a full HTTP response.
     pub fn to_response(&self) -> Response {
         Response::json(self.status, &self.to_value())
+    }
+}
+
+/// Extracts the request's `X-Deadline-Millis` budget. `Ok(None)` when the
+/// header is absent; 400 when it is present but not a non-negative integer.
+/// Both transports call this at the same point (after parsing, before
+/// admission), keeping their status ordering identical.
+pub fn parse_deadline(req: &Request) -> Result<Option<u64>, ServiceError> {
+    match req.header("x-deadline-millis") {
+        None => Ok(None),
+        Some(v) => v.trim().parse::<u64>().map(Some).map_err(|_| {
+            ServiceError::bad_request(format!(
+                "bad X-Deadline-Millis value {v:?}: expected a non-negative integer count of milliseconds"
+            ))
+        }),
     }
 }
 

@@ -27,6 +27,35 @@ pub struct HttpError {
     /// desync a keep-alive peer that sent nothing (e.g. an idle client
     /// whose read timeout fired server-side).
     pub is_io: bool,
+    /// `true` when the request line and all headers were already parsed
+    /// when the failure hit — i.e. the peer committed to a request and
+    /// stalled mid-body. Such a peer deserves a 408 before close rather
+    /// than the silent close an idle connection gets.
+    pub head_parsed: bool,
+    /// `true` when the underlying I/O failure was a read timeout
+    /// (`WouldBlock`/`TimedOut`) rather than a reset or EOF.
+    pub timed_out: bool,
+}
+
+impl HttpError {
+    fn protocol(message: impl Into<String>) -> HttpError {
+        HttpError {
+            message: message.into(),
+            is_io: false,
+            head_parsed: false,
+            timed_out: false,
+        }
+    }
+
+    fn io(message: impl Into<String>, kind: std::io::ErrorKind) -> HttpError {
+        use std::io::ErrorKind;
+        HttpError {
+            message: message.into(),
+            is_io: true,
+            head_parsed: false,
+            timed_out: matches!(kind, ErrorKind::WouldBlock | ErrorKind::TimedOut),
+        }
+    }
 }
 
 impl std::fmt::Display for HttpError {
@@ -36,17 +65,7 @@ impl std::fmt::Display for HttpError {
 }
 
 fn bad<T>(msg: impl Into<String>) -> Result<T, HttpError> {
-    Err(HttpError {
-        message: msg.into(),
-        is_io: false,
-    })
-}
-
-fn io_err<T>(msg: impl Into<String>) -> Result<T, HttpError> {
-    Err(HttpError {
-        message: msg.into(),
-        is_io: true,
-    })
+    Err(HttpError::protocol(msg))
 }
 
 /// One parsed request.
@@ -88,7 +107,7 @@ fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, HttpError> {
     match limited.read_until(b'\n', &mut buf) {
         Ok(0) => return Ok(None),
         Ok(_) => {}
-        Err(e) => return io_err(format!("read failed: {e}")),
+        Err(e) => return Err(HttpError::io(format!("read failed: {e}"), e.kind())),
     }
     if buf.len() > MAX_LINE_BYTES {
         return bad("header line too long");
@@ -124,7 +143,10 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpEr
     let mut headers = Vec::new();
     loop {
         let Some(line) = read_line(reader)? else {
-            return io_err("connection closed mid-headers");
+            return Err(HttpError::io(
+                "connection closed mid-headers",
+                std::io::ErrorKind::UnexpectedEof,
+            ));
         };
         if line.is_empty() {
             break;
@@ -152,10 +174,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpEr
         .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
         .map(|(_, v)| v.parse::<usize>())
         .transpose()
-        .map_err(|e| HttpError {
-            message: format!("bad content-length: {e}"),
-            is_io: false,
-        })?
+        .map_err(|e| HttpError::protocol(format!("bad content-length: {e}")))?
         .unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return bad(format!("body of {content_length} bytes exceeds limit"));
@@ -163,9 +182,10 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpEr
 
     let mut body = vec![0u8; content_length];
     if content_length > 0 {
-        std::io::Read::read_exact(reader, &mut body).map_err(|e| HttpError {
-            message: format!("body read failed: {e}"),
-            is_io: true,
+        std::io::Read::read_exact(reader, &mut body).map_err(|e| {
+            let mut err = HttpError::io(format!("body read failed: {e}"), e.kind());
+            err.head_parsed = true;
+            err
         })?;
     }
 
@@ -178,6 +198,210 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpEr
     }))
 }
 
+/// Incremental HTTP/1.1 request parser for the non-blocking transport:
+/// raw bytes go in via [`RequestParser::feed`] as they arrive off the
+/// socket, complete requests come out of [`RequestParser::try_next`] once
+/// they frame. Limits and error messages match [`read_request`] exactly —
+/// the proptest suite pins the two byte-for-byte equivalent at every
+/// possible split boundary — so both transports reject identical inputs
+/// with identical diagnostics.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    /// Raw bytes; `start..` is unconsumed, `..start` is already parsed.
+    buf: Vec<u8>,
+    start: usize,
+    /// High-water mark of the newline scan, so repeated `try_next` calls
+    /// on a slowly-arriving line stay O(new bytes), not O(line²).
+    scan: usize,
+    state: ParseState,
+}
+
+#[derive(Debug, Default)]
+enum ParseState {
+    #[default]
+    RequestLine,
+    Headers(Head),
+    Body(Head, usize),
+}
+
+#[derive(Debug)]
+struct Head {
+    method: String,
+    path: String,
+    version: String,
+    headers: Vec<(String, String)>,
+}
+
+impl RequestParser {
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Appends raw socket bytes to the parse buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a completed request.
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len().saturating_sub(self.start)
+    }
+
+    /// `true` once any byte of a new request has arrived (or a head is
+    /// mid-parse): a read timeout now is a stalled request, not an idle
+    /// keep-alive connection.
+    pub fn mid_request(&self) -> bool {
+        !matches!(self.state, ParseState::RequestLine) || self.buffered_len() > 0
+    }
+
+    /// `true` when the request line and headers are fully parsed and the
+    /// parser is waiting on body bytes — the condition under which a read
+    /// timeout earns a 408 instead of a silent close.
+    pub fn head_parsed(&self) -> bool {
+        matches!(self.state, ParseState::Body(..))
+    }
+
+    /// Pulls the next complete request out of the buffer. `Ok(None)`
+    /// means "need more bytes"; errors are protocol violations and the
+    /// connection must be closed after an optional 400.
+    pub fn try_next(&mut self) -> Result<Option<Request>, HttpError> {
+        let out = self.advance();
+        // Reclaim the consumed prefix so a long-lived keep-alive
+        // connection cannot grow the buffer without bound.
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.scan = self.scan.saturating_sub(self.start);
+            self.start = 0;
+        }
+        out
+    }
+
+    /// One line ending in `\n`, trailing `\r`s stripped (mirrors
+    /// [`read_line`]'s tolerance for bare-LF peers). `Ok(None)` = the
+    /// terminator has not arrived yet.
+    fn take_line(&mut self) -> Result<Option<String>, HttpError> {
+        let pending = self.buf.get(self.scan..).unwrap_or(&[]);
+        let Some(rel) = pending.iter().position(|&b| b == b'\n') else {
+            self.scan = self.buf.len();
+            if self.buffered_len() > MAX_LINE_BYTES {
+                return bad("header line too long");
+            }
+            return Ok(None);
+        };
+        let nl = self.scan + rel;
+        if nl + 1 - self.start > MAX_LINE_BYTES {
+            return bad("header line too long");
+        }
+        let mut line = self.buf.get(self.start..nl).unwrap_or(&[]).to_vec();
+        while matches!(line.last(), Some(b'\r')) {
+            line.pop();
+        }
+        self.start = nl + 1;
+        self.scan = self.start;
+        match String::from_utf8(line) {
+            Ok(s) => Ok(Some(s)),
+            Err(_) => bad("header line is not UTF-8"),
+        }
+    }
+
+    fn advance(&mut self) -> Result<Option<Request>, HttpError> {
+        loop {
+            match self.state {
+                ParseState::RequestLine => {
+                    if self.buffered_len() == 0 {
+                        return Ok(None);
+                    }
+                    let Some(line) = self.take_line()? else {
+                        return Ok(None);
+                    };
+                    if line.is_empty() {
+                        return bad("empty request line");
+                    }
+                    let mut parts = line.split_ascii_whitespace();
+                    let (Some(method), Some(path), Some(version)) =
+                        (parts.next(), parts.next(), parts.next())
+                    else {
+                        return bad(format!("malformed request line: {line:?}"));
+                    };
+                    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+                        return bad(format!("malformed request line: {line:?}"));
+                    }
+                    self.state = ParseState::Headers(Head {
+                        method: method.to_string(),
+                        path: path.to_string(),
+                        version: version.to_string(),
+                        headers: Vec::new(),
+                    });
+                }
+                ParseState::Headers(_) => {
+                    let Some(line) = self.take_line()? else {
+                        return Ok(None);
+                    };
+                    let ParseState::Headers(ref mut head) = self.state else {
+                        return bad("parser state desync");
+                    };
+                    if !line.is_empty() {
+                        if head.headers.len() >= MAX_HEADERS {
+                            return bad("too many headers");
+                        }
+                        let Some((k, v)) = line.split_once(':') else {
+                            return bad(format!("malformed header: {line:?}"));
+                        };
+                        head.headers
+                            .push((k.trim().to_string(), v.trim().to_string()));
+                        continue;
+                    }
+                    // Blank line: the head is complete. Same body-framing
+                    // rules as the blocking parser.
+                    if head
+                        .headers
+                        .iter()
+                        .any(|(k, _)| k.eq_ignore_ascii_case("transfer-encoding"))
+                    {
+                        return bad(
+                            "Transfer-Encoding is not supported; send a Content-Length body",
+                        );
+                    }
+                    let content_length = head
+                        .headers
+                        .iter()
+                        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+                        .map(|(_, v)| v.parse::<usize>())
+                        .transpose()
+                        .map_err(|e| HttpError::protocol(format!("bad content-length: {e}")))?
+                        .unwrap_or(0);
+                    if content_length > MAX_BODY_BYTES {
+                        return bad(format!("body of {content_length} bytes exceeds limit"));
+                    }
+                    let ParseState::Headers(head) = std::mem::take(&mut self.state) else {
+                        return bad("parser state desync");
+                    };
+                    self.state = ParseState::Body(head, content_length);
+                }
+                ParseState::Body(_, need) => {
+                    if self.buffered_len() < need {
+                        return Ok(None);
+                    }
+                    let end = self.start + need;
+                    let body = self.buf.get(self.start..end).unwrap_or(&[]).to_vec();
+                    self.start = end;
+                    self.scan = end;
+                    let ParseState::Body(head, _) = std::mem::take(&mut self.state) else {
+                        return bad("parser state desync");
+                    };
+                    return Ok(Some(Request {
+                        method: head.method,
+                        path: head.path,
+                        version: head.version,
+                        headers: head.headers,
+                        body,
+                    }));
+                }
+            }
+        }
+    }
+}
+
 /// Canonical reason phrases for the statuses the service emits.
 pub fn status_text(status: u16) -> &'static str {
     match status {
@@ -186,10 +410,13 @@ pub fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -350,8 +577,145 @@ mod tests {
 
     #[test]
     fn status_texts_cover_service_statuses() {
-        for s in [200, 201, 400, 404, 405, 409, 413, 422, 500] {
+        for s in [200, 201, 400, 404, 405, 408, 409, 413, 422, 429, 500, 504] {
             assert_ne!(status_text(s), "Unknown", "status {s}");
+        }
+    }
+
+    #[test]
+    fn parser_exposes_idle_vs_mid_request_vs_head_parsed() {
+        let mut p = RequestParser::new();
+        assert!(!p.mid_request(), "fresh parser is idle");
+        p.feed(b"PO");
+        assert!(p.mid_request(), "any byte commits the peer to a request");
+        assert!(!p.head_parsed());
+        p.feed(b"ST / HTTP/1.1\r\nContent-Length: 5\r\n\r\n");
+        assert!(p.try_next().unwrap().is_none(), "body bytes still missing");
+        assert!(p.head_parsed(), "waiting on the body = 408 territory");
+        p.feed(b"12345");
+        let r = p.try_next().unwrap().unwrap();
+        assert_eq!(r.body, b"12345");
+        assert!(!p.mid_request(), "back to idle between requests");
+        assert_eq!(p.buffered_len(), 0, "consumed prefix reclaimed");
+    }
+
+    #[test]
+    fn incremental_parser_rejects_what_the_blocking_parser_rejects() {
+        // Identical inputs must produce identical diagnostics on both
+        // parsers — the transports answer 400 with the same message.
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / SPDY/3\r\n\r\n",
+            "\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n",
+            "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            "POST / HTTP/1.1\r\nnocolon\r\n\r\n",
+        ] {
+            let blocking = read_request(&mut raw.as_bytes()).unwrap_err();
+            let mut p = RequestParser::new();
+            p.feed(raw.as_bytes());
+            let incremental = p.try_next().unwrap_err();
+            assert_eq!(blocking.message, incremental.message, "input {raw:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_parser_survives_every_split_boundary() {
+        let raw: &[u8] = b"POST /v1/select HTTP/1.1\r\nHost: t\r\nX-Deadline-Millis: 250\r\n\
+                           Content-Length: 11\r\n\r\n{\"graph\":1}";
+        let reference = read_request(&mut &raw[..]).unwrap().unwrap();
+        for split in 0..=raw.len() {
+            let mut p = RequestParser::new();
+            p.feed(&raw[..split]);
+            let early = p
+                .try_next()
+                .unwrap_or_else(|e| panic!("split {split}: {e}"));
+            p.feed(&raw[split..]);
+            let req = match early {
+                Some(r) => r,
+                None => p
+                    .try_next()
+                    .unwrap_or_else(|e| panic!("split {split}: {e}"))
+                    .unwrap_or_else(|| panic!("split {split}: incomplete after full feed")),
+            };
+            assert_eq!(req.method, reference.method, "split {split}");
+            assert_eq!(req.path, reference.path, "split {split}");
+            assert_eq!(req.version, reference.version, "split {split}");
+            assert_eq!(req.headers, reference.headers, "split {split}");
+            assert_eq!(req.body, reference.body, "split {split}");
+            assert!(
+                p.try_next().unwrap().is_none(),
+                "split {split}: phantom request"
+            );
+            assert_eq!(p.buffered_len(), 0, "split {split}: leftover bytes");
+        }
+    }
+
+    mod framing_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One deterministic request rendered from generated knobs.
+        fn raw_request(mi: usize, path_len: usize, body_len: usize, bare_lf: bool) -> Vec<u8> {
+            let method = match mi % 3 {
+                0 => "GET",
+                1 => "POST",
+                _ => "DELETE",
+            };
+            let path = format!("/{}", "p".repeat(path_len));
+            let body: Vec<u8> = (0..body_len).map(|i| b'a' + (i % 26) as u8).collect();
+            let eol = if bare_lf { "\n" } else { "\r\n" };
+            let mut raw = format!(
+                "{method} {path} HTTP/1.1{eol}Host: test{eol}Content-Length: {}{eol}{eol}",
+                body.len()
+            )
+            .into_bytes();
+            raw.extend_from_slice(&body);
+            raw
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn incremental_parser_matches_blocking_at_any_chunking(
+                mi in 0usize..3,
+                path_len in 1usize..40,
+                body_len in 0usize..80,
+                body_len2 in 0usize..80,
+                chunk in 1usize..24,
+                bare_lf in 0usize..2,
+            ) {
+                // A pipelined two-request stream, sometimes with bare-LF
+                // line endings, parsed as `chunk`-sized arrivals.
+                let mut stream = raw_request(mi, path_len, body_len, bare_lf == 1);
+                stream.extend(raw_request(mi + 1, path_len / 2 + 1, body_len2, false));
+
+                let mut reader = &stream[..];
+                let mut expected = Vec::new();
+                while let Some(r) = read_request(&mut reader).unwrap() {
+                    expected.push(r);
+                }
+                prop_assert_eq!(expected.len(), 2);
+
+                let mut parser = RequestParser::new();
+                let mut got = Vec::new();
+                for piece in stream.chunks(chunk) {
+                    parser.feed(piece);
+                    while let Some(r) = parser.try_next().unwrap() {
+                        got.push(r);
+                    }
+                }
+                prop_assert_eq!(got.len(), expected.len());
+                for (g, e) in got.iter().zip(&expected) {
+                    prop_assert_eq!(&g.method, &e.method);
+                    prop_assert_eq!(&g.path, &e.path);
+                    prop_assert_eq!(&g.version, &e.version);
+                    prop_assert_eq!(&g.headers, &e.headers);
+                    prop_assert_eq!(&g.body, &e.body);
+                }
+                prop_assert_eq!(parser.buffered_len(), 0);
+            }
         }
     }
 }

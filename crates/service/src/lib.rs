@@ -17,9 +17,16 @@
 //!   bounded response cache ([`cache`]) sound — a repeated request is a
 //!   memory read.
 //! * **Std-only HTTP/1.1** ([`http`], [`server`]): hand-rolled framing over
-//!   `std::net`, a fixed worker pool fed by an acceptor over `mpsc`
-//!   channels (the `smin-sampling::parallel` threading conventions applied
-//!   to connections), keep-alive by default.
+//!   `std::net`, keep-alive by default, served by one of two transports —
+//!   an epoll readiness event loop ([`event_loop`] over raw syscall shims
+//!   in [`platform`]) multiplexing every connection on one poll thread, or
+//!   the portable acceptor → worker-pool fallback. Both produce
+//!   byte-identical responses; [`server::Transport::Auto`] probes at bind
+//!   time.
+//! * **Request-level protections**: `X-Deadline-Millis` budgets (504),
+//!   admission control at a pending-dispatch high-water mark (429), and
+//!   batched selection (`POST /v1/select-batch`) amortizing graph
+//!   resolution and session checkout across items.
 //!
 //! Per-request `threads` (or the `SMIN_THREADS` env var, resolved at
 //! request time) picks the sketch-generation worker count; it never changes
@@ -29,13 +36,18 @@
 //! The CLI front end is `asm serve`; `svc_load` (in `smin-bench`) is the
 //! matching load generator.
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied everywhere except the epoll syscall shims in
+// `platform::sys`, which carry their own `#[allow]` and SAFETY comments.
+#![deny(unsafe_code)]
 
 pub mod cache;
 pub mod client;
 pub mod error;
+#[cfg(unix)]
+pub(crate) mod event_loop;
 pub mod http;
 pub mod json;
+pub mod platform;
 pub mod registry;
 pub mod routes;
 pub mod server;
@@ -43,4 +55,4 @@ pub mod server;
 pub use client::{Client, ClientResponse};
 pub use error::ServiceError;
 pub use routes::ServiceState;
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{Server, ServerConfig, ServerHandle, Transport};

@@ -7,11 +7,19 @@
 //! | POST | `/v1/graphs` | `{"id"?, "path"?, "generate"?, …}` | load/generate + register |
 //! | DELETE | `/v1/graphs/{id}` | — | unregister |
 //! | POST | `/v1/select` | `{"graph", "eta"\|"eta_frac", …}` | run TRIM / TRIM-B / ASTI |
+//! | POST | `/v1/select-batch` | `{"graph", "items": […]}` | N selects, one graph resolution + warm session |
 //!
 //! `/v1/select` responses contain only deterministic fields: the same body
 //! (same `seed`) produces byte-identical JSON across restarts and thread
 //! counts. Wall-clock timing travels in the `X-Select-Micros` response
 //! header, and cache status in `X-Cache`, so neither perturbs the contract.
+//!
+//! `/v1/select-batch` amortizes the per-request overhead: the graph is
+//! resolved once and one warm session is checked out for the whole batch,
+//! while each item keeps its own cache entry. Every element of `"results"`
+//! is byte-identical to the body the same item would get from
+//! `/v1/select` — session reuse never changes results (PR 4's contract),
+//! and the wire tests pin this equivalence.
 
 use crate::cache::SelectCache;
 use crate::error::ServiceError;
@@ -23,7 +31,7 @@ use crate::registry::{
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde_json::{json, Value};
-use smin_core::{asti_in, AstiParams};
+use smin_core::{asti_in, AstiParams, AstiSession};
 use smin_diffusion::{Model, Realization, RealizationOracle};
 use smin_graph::generators::{
     assemble, barabasi_albert, chung_lu_directed, erdos_renyi, watts_strogatz,
@@ -158,6 +166,7 @@ pub fn handle(state: &ServiceState, req: &Request) -> Response {
         ("GET", "/v1/graphs") => Ok(list_graphs(state)),
         ("POST", "/v1/graphs") => register_graph(state, &req.body),
         ("POST", "/v1/select") => select(state, &req.body),
+        ("POST", "/v1/select-batch") => select_batch(state, &req.body),
         (method, path)
             if path
                 .strip_prefix("/v1/graphs/")
@@ -168,7 +177,7 @@ pub fn handle(state: &ServiceState, req: &Request) -> Response {
                 _ => Err(method_not_allowed(method, path)),
             }
         }
-        (method, path @ ("/healthz" | "/v1/graphs" | "/v1/select")) => {
+        (method, path @ ("/healthz" | "/v1/graphs" | "/v1/select" | "/v1/select-batch")) => {
             Err(method_not_allowed(method, path))
         }
         (_, path) => Err(ServiceError::not_found(
@@ -190,12 +199,19 @@ fn method_not_allowed(method: &str, path: &str) -> ServiceError {
 /// `GET /healthz`
 fn healthz(state: &ServiceState) -> Response {
     let registry = state.registry();
+    let (cached, hits, misses) = {
+        let cache = state.cache();
+        let (h, m) = cache.stats();
+        (cache.len(), h, m)
+    };
     Response::json(
         200,
         &json!({
             "status": "ok",
             "graphs": registry.len(),
-            "cached_responses": state.cache().len(),
+            "cached_responses": cached,
+            "cache_hits": hits,
+            "cache_misses": misses,
             "uptime_s": state.started.elapsed().as_secs(),
         }),
     )
@@ -406,41 +422,53 @@ impl SelectRequest {
 
 fn parse_select(state: &ServiceState, body: &[u8]) -> Result<SelectRequest, ServiceError> {
     let v = json::parse_object(body)?;
-    let graph_id = json::req_str(&v, "graph")?;
-    let entry = state.registry().get(&graph_id).ok_or_else(|| {
+    let entry = resolve_graph(state, &v)?;
+    parse_select_fields(entry, &v)
+}
+
+/// Resolves the `"graph"` field against the registry — once per request
+/// for `/v1/select`, once per *batch* for `/v1/select-batch`.
+fn resolve_graph(state: &ServiceState, v: &Value) -> Result<Arc<GraphEntry>, ServiceError> {
+    let graph_id = json::req_str(v, "graph")?;
+    state.registry().get(&graph_id).ok_or_else(|| {
         ServiceError::not_found(
             "unknown_graph",
             format!("graph '{graph_id}' is not registered"),
         )
-    })?;
+    })
+}
 
-    let model: Model = json::opt_str(&v, "model")?
+/// Parses every select field besides `"graph"` against an already-resolved
+/// entry. Shared verbatim by the single and batch endpoints so their
+/// validation (and therefore their responses) cannot drift.
+fn parse_select_fields(entry: Arc<GraphEntry>, v: &Value) -> Result<SelectRequest, ServiceError> {
+    let model: Model = json::opt_str(v, "model")?
         .unwrap_or_else(|| "ic".into())
         .parse()
         .map_err(|e: String| ServiceError::bad_request(e))?;
-    let eps = json::opt_f64(&v, "eps")?.unwrap_or(0.5);
-    let seed = json::opt_u64(&v, "seed")?.unwrap_or(42);
-    let mut batch = json::opt_usize(&v, "batch")?.unwrap_or(1);
+    let eps = json::opt_f64(v, "eps")?.unwrap_or(0.5);
+    let seed = json::opt_u64(v, "seed")?.unwrap_or(42);
+    let mut batch = json::opt_usize(v, "batch")?.unwrap_or(1);
     // Optional per-round mRR-set budget: interactive clients trade the
     // formal guarantee for a hard latency bound. Response-determining, so
     // it is part of the cache key.
-    let theta_cap = json::opt_usize(&v, "theta_cap")?;
+    let theta_cap = json::opt_usize(v, "theta_cap")?;
     if theta_cap == Some(0) {
         return Err(ServiceError::bad_request("'theta_cap' must be at least 1"));
     }
-    let threads = json::opt_usize(&v, "threads")?;
+    let threads = json::opt_usize(v, "threads")?;
     if threads == Some(0) {
         return Err(ServiceError::bad_request("'threads' must be at least 1"));
     }
-    let use_cache = json::opt_bool(&v, "cache")?.unwrap_or(true);
+    let use_cache = json::opt_bool(v, "cache")?.unwrap_or(true);
 
     // "asti" is the adaptive driver; "trim" / "trim-b" name the per-round
     // selector explicitly and constrain the batch size accordingly.
-    let algo = json::opt_str(&v, "algo")?.unwrap_or_else(|| "asti".into());
+    let algo = json::opt_str(v, "algo")?.unwrap_or_else(|| "asti".into());
     match algo.as_str() {
         "asti" => {}
         "trim" => {
-            if json::opt_usize(&v, "batch")?.is_some_and(|b| b != 1) {
+            if json::opt_usize(v, "batch")?.is_some_and(|b| b != 1) {
                 return Err(ServiceError::bad_request(
                     "algo 'trim' selects one seed per round; use 'trim-b' with batch >= 2",
                 ));
@@ -462,7 +490,7 @@ fn parse_select(state: &ServiceState, body: &[u8]) -> Result<SelectRequest, Serv
     }
 
     let n = entry.graph.n();
-    let eta = match (json::opt_usize(&v, "eta")?, json::opt_f64(&v, "eta_frac")?) {
+    let eta = match (json::opt_usize(v, "eta")?, json::opt_f64(v, "eta_frac")?) {
         (Some(e), None) => e,
         (None, Some(frac)) => {
             // Validate before the max(1.0) clamp: a negative or NaN
@@ -500,30 +528,13 @@ fn parse_select(state: &ServiceState, body: &[u8]) -> Result<SelectRequest, Serv
     })
 }
 
-/// `POST /v1/select`
-///
-/// Runs the adaptive campaign against a world sampled from `seed` (the same
-/// convention as `asm run`: world RNG stream `seed + 1000`, algorithm RNG
-/// stream `seed`), on a session recycled from the graph's warm shelf.
-fn select(state: &ServiceState, body: &[u8]) -> Result<Response, ServiceError> {
-    let req = parse_select(state, body)?;
-    // smin-lint: allow(no-wall-clock) -- feeds the X-Select-Micros header only; bodies stay bit-identical
-    let started = Instant::now();
-    let key = req.cache_key();
-
-    if req.use_cache {
-        if let Some(cached) = state.cache().get(&key) {
-            record_select(&req.entry);
-            return Ok(Response {
-                status: 200,
-                headers: Vec::new(),
-                body: cached.to_vec(),
-            }
-            .with_header("X-Cache", "HIT")
-            .with_header("X-Select-Micros", started.elapsed().as_micros().to_string()));
-        }
-    }
-
+/// Runs one parsed select item on a caller-provided session and returns
+/// the serialized response body. This is the single compute path behind
+/// both `/v1/select` and `/v1/select-batch`, so their bytes cannot drift.
+fn compute_select_body(
+    req: &SelectRequest,
+    session: &mut AstiSession,
+) -> Result<Vec<u8>, ServiceError> {
     let g = &req.entry.graph;
     let mut world_rng = SmallRng::seed_from_u64(req.seed.wrapping_add(1000));
     let phi = Realization::sample(g, req.model, &mut world_rng);
@@ -535,7 +546,6 @@ fn select(state: &ServiceState, body: &[u8]) -> Result<Response, ServiceError> {
     params.trim.threads = req.threads;
     params.trim.theta_cap = req.theta_cap;
 
-    let mut session = req.entry.checkout_session();
     let report = asti_in(
         g,
         req.model,
@@ -543,11 +553,8 @@ fn select(state: &ServiceState, body: &[u8]) -> Result<Response, ServiceError> {
         &params,
         &mut oracle,
         &mut rng,
-        &mut session,
-    );
-    req.entry.checkin_session(session);
-    let report = report?;
-    record_select(&req.entry);
+        session,
+    )?;
 
     let rounds: Vec<Value> = report
         .rounds
@@ -588,19 +595,164 @@ fn select(state: &ServiceState, body: &[u8]) -> Result<Response, ServiceError> {
             )
         })?
         .into_bytes();
+    Ok(body)
+}
 
+/// Cache-aware execution of one item on a shared session: hit → cached
+/// bytes, miss → compute (and memoize). Returns the body plus whether the
+/// cache answered.
+fn run_select_item(
+    state: &ServiceState,
+    req: &SelectRequest,
+    session: &mut AstiSession,
+) -> Result<(Vec<u8>, bool), ServiceError> {
+    let key = req.cache_key();
+    if req.use_cache {
+        if let Some(cached) = state.cache().get(&key) {
+            record_select(&req.entry);
+            return Ok((cached.to_vec(), true));
+        }
+    }
+    let body = compute_select_body(req, session)?;
+    record_select(&req.entry);
     if req.use_cache {
         state
             .cache()
             .insert(key, Arc::from(body.clone().into_boxed_slice()));
     }
+    Ok((body, false))
+}
 
+/// `POST /v1/select`
+///
+/// Runs the adaptive campaign against a world sampled from `seed` (the same
+/// convention as `asm run`: world RNG stream `seed + 1000`, algorithm RNG
+/// stream `seed`), on a session recycled from the graph's warm shelf.
+fn select(state: &ServiceState, body: &[u8]) -> Result<Response, ServiceError> {
+    let req = parse_select(state, body)?;
+    // smin-lint: allow(no-wall-clock) -- feeds the X-Select-Micros header only; bodies stay bit-identical
+    let started = Instant::now();
+
+    let mut session = req.entry.checkout_session();
+    let result = run_select_item(state, &req, &mut session);
+    req.entry.checkin_session(session);
+    let (body, hit) = result?;
+
+    let cache_status = match (req.use_cache, hit) {
+        (false, _) => "BYPASS",
+        (true, true) => "HIT",
+        (true, false) => "MISS",
+    };
     Ok(Response {
         status: 200,
         headers: Vec::new(),
         body,
     }
-    .with_header("X-Cache", if req.use_cache { "MISS" } else { "BYPASS" })
+    .with_header("X-Cache", cache_status)
+    .with_header("X-Select-Micros", started.elapsed().as_micros().to_string()))
+}
+
+/// `POST /v1/select-batch`
+///
+/// `{"graph": id, "items": [{…select fields…}, …]}` — runs every item
+/// against one graph resolution and one warm-session checkout. The
+/// response is assembled by byte-concatenating the exact bodies the items
+/// would receive from `/v1/select`, so each `results` element is pinned
+/// byte-identical to its sequential counterpart. Any failing item fails
+/// the whole batch with its error, prefixed by the item index.
+fn select_batch(state: &ServiceState, body: &[u8]) -> Result<Response, ServiceError> {
+    let v = json::parse_object(body)?;
+    // smin-lint: allow(no-wall-clock) -- feeds the X-Select-Micros header only; bodies stay bit-identical
+    let started = Instant::now();
+    let entry = resolve_graph(state, &v)?;
+    let items = match json::field(&v, "items") {
+        Some(Value::Array(items)) => items,
+        Some(_) => {
+            return Err(ServiceError::bad_request(
+                "field 'items' must be an array of select objects",
+            ))
+        }
+        None => return Err(ServiceError::bad_request("missing required field 'items'")),
+    };
+    if items.is_empty() {
+        return Err(ServiceError::bad_request("'items' must not be empty"));
+    }
+
+    let item_err = |i: usize, e: ServiceError| {
+        ServiceError::new(e.status, e.code, format!("items[{i}]: {}", e.message))
+    };
+    // Parse every item up front: a batch with a malformed tail fails before
+    // any compute is spent.
+    let mut reqs = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        if !matches!(item, Value::Object(_)) {
+            return Err(ServiceError::bad_request(format!(
+                "items[{i}]: each item must be an object"
+            )));
+        }
+        if json::field(item, "graph").is_some() {
+            return Err(ServiceError::bad_request(format!(
+                "items[{i}]: 'graph' belongs at the batch's top level"
+            )));
+        }
+        let req = parse_select_fields(Arc::clone(&entry), item).map_err(|e| item_err(i, e))?;
+        reqs.push(req);
+    }
+
+    // One warm session serves the whole batch — this is the amortization
+    // the endpoint exists for. Session reuse never changes results, so the
+    // bodies below still match sequential `/v1/select` calls exactly.
+    let mut session = entry.checkout_session();
+    let mut results = Vec::new();
+    let mut hits = 0usize;
+    let mut outcome = Ok(());
+    for (i, req) in reqs.iter().enumerate() {
+        match run_select_item(state, req, &mut session) {
+            Ok((bytes, hit)) => {
+                if hit {
+                    hits += 1;
+                }
+                results.push(bytes);
+            }
+            Err(e) => {
+                outcome = Err(item_err(i, e));
+                break;
+            }
+        }
+    }
+    entry.checkin_session(session);
+    outcome?;
+
+    // Assembled by concatenation, not re-serialization: the item bodies
+    // land in `results` byte-for-byte.
+    let graph_json = serde_json::to_string(&entry.id)
+        .map_err(|e| ServiceError::new(500, "serialization_failed", format!("graph id: {e}")))?;
+    let mut body = Vec::new();
+    body.extend_from_slice(b"{\"graph\":");
+    body.extend_from_slice(graph_json.as_bytes());
+    body.extend_from_slice(format!(",\"count\":{}", results.len()).as_bytes());
+    body.extend_from_slice(b",\"results\":[");
+    for (i, item_body) in results.iter().enumerate() {
+        if i > 0 {
+            body.push(b',');
+        }
+        body.extend_from_slice(item_body);
+    }
+    body.extend_from_slice(b"]}");
+
+    let cache_status = if hits == results.len() {
+        "HIT"
+    } else if hits == 0 {
+        "MISS"
+    } else {
+        "MIXED"
+    };
+    Ok(Response {
+        status: 200,
+        headers: Vec::new(),
+        body,
+    }
+    .with_header("X-Cache", cache_status)
     .with_header("X-Select-Micros", started.elapsed().as_micros().to_string()))
 }
 

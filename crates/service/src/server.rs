@@ -1,31 +1,62 @@
-//! The listener/worker loop.
+//! Transport selection and the threaded fallback loop.
 //!
-//! One acceptor (the caller's thread) feeds accepted connections to a fixed
-//! pool of worker threads over an `mpsc` channel — the same
-//! std-thread-plus-channels discipline as `smin-sampling::parallel`, applied
-//! to connections instead of sketch chunks. Each worker owns a connection
-//! for its whole keep-alive lifetime; per-request parallelism happens
-//! *inside* the algorithm (sketch-generation workers), so one heavy request
-//! never blocks the accept loop.
+//! Two transports serve the same session layer ([`crate::routes::handle`])
+//! and produce byte-identical responses (wire-test pinned):
+//!
+//! * **Epoll** ([`crate::event_loop`]): one poll thread multiplexing every
+//!   connection through per-connection state machines, plus a fixed pool
+//!   of dispatch threads. Concurrency costs a slab slot, not a thread.
+//! * **Threaded** (this module): one acceptor feeding accepted connections
+//!   to a fixed worker pool over `mpsc` — the original transport, kept as
+//!   the portable fallback. Each worker owns a connection for its whole
+//!   keep-alive lifetime, so open connections are capped by worker count.
+//!
+//! [`Transport::Auto`] (the default) probes the kernel at bind time and
+//! picks epoll when available. Both transports share the request-level
+//! protections: `X-Deadline-Millis` → 504, admission control → 429, and a
+//! 408 when a connection times out after its request head was parsed.
 
+use crate::error::{parse_deadline, ServiceError};
 use crate::http::{read_request, Response};
 use crate::routes::{handle, ServiceState};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
-/// Per-connection read timeout: a stalled peer releases its worker instead
-/// of pinning it forever.
-const READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// Which service core runs the connections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// Probe at serve time: epoll when the kernel supports it, else threaded.
+    Auto,
+    /// The readiness event loop (Linux). Serving fails if unavailable.
+    Epoll,
+    /// The portable acceptor → worker-pool loop.
+    Threaded,
+}
+
+impl Transport {
+    /// Parses a `--transport` flag value.
+    pub fn parse(s: &str) -> Result<Transport, String> {
+        match s {
+            "auto" => Ok(Transport::Auto),
+            "epoll" => Ok(Transport::Epoll),
+            "threaded" => Ok(Transport::Threaded),
+            other => Err(format!(
+                "unknown transport {other:?}: expected auto, epoll, or threaded"
+            )),
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Bind address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Worker threads handling connections.
+    /// Worker threads: the connection pool under [`Transport::Threaded`],
+    /// the dispatch pool under [`Transport::Epoll`].
     pub workers: usize,
     /// Directory `{"path": …}` graph loads are confined to.
     pub graphs_dir: Option<std::path::PathBuf>,
@@ -34,6 +65,16 @@ pub struct ServerConfig {
     pub state_dir: Option<std::path::PathBuf>,
     /// Memoized `/v1/select` responses retained.
     pub cache_capacity: usize,
+    /// Which service core runs the connections.
+    pub transport: Transport,
+    /// Admission high-water mark: requests beyond this many queued +
+    /// running dispatches are answered with a deterministic 429.
+    pub max_pending: usize,
+    /// Keep-alive idle timeout (epoll transport; silent close).
+    pub idle_timeout_ms: u64,
+    /// Mid-request / response-write timeout. Under the threaded transport
+    /// this is the per-connection socket read timeout.
+    pub request_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -44,6 +85,10 @@ impl Default for ServerConfig {
             graphs_dir: None,
             state_dir: None,
             cache_capacity: 1024,
+            transport: Transport::Auto,
+            max_pending: 1024,
+            idle_timeout_ms: 30_000,
+            request_timeout_ms: 30_000,
         }
     }
 }
@@ -52,7 +97,7 @@ impl Default for ServerConfig {
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServiceState>,
-    workers: usize,
+    config: ServerConfig,
 }
 
 impl Server {
@@ -68,7 +113,7 @@ impl Server {
         Ok(Server {
             listener,
             state: Arc::new(state),
-            workers: config.workers.max(1),
+            config: config.clone(),
         })
     }
 
@@ -77,22 +122,65 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serves until `stop` turns true (checked after each accept). Blocks
-    /// the calling thread; the CLI calls this directly, tests use
-    /// [`Server::spawn`].
+    /// The transport that will actually serve, after `Auto` probing.
+    pub fn resolved_transport(&self) -> Transport {
+        match self.config.transport {
+            Transport::Auto => {
+                if crate::platform::supported() {
+                    Transport::Epoll
+                } else {
+                    Transport::Threaded
+                }
+            }
+            explicit => explicit,
+        }
+    }
+
+    /// Serves until `stop` turns true. Blocks the calling thread; the CLI
+    /// calls this directly, tests use [`Server::spawn`].
     pub fn run(self, stop: &AtomicBool) -> std::io::Result<()> {
+        match self.resolved_transport() {
+            Transport::Epoll => self.run_epoll(stop),
+            _ => self.run_threaded(stop),
+        }
+    }
+
+    #[cfg(unix)]
+    fn run_epoll(self, stop: &AtomicBool) -> std::io::Result<()> {
+        let cfg = crate::event_loop::LoopConfig {
+            dispatchers: self.config.workers.max(1),
+            max_pending: self.config.max_pending,
+            idle_timeout_ms: self.config.idle_timeout_ms,
+            request_timeout_ms: self.config.request_timeout_ms,
+        };
+        crate::event_loop::serve(self.listener, &self.state, &cfg, stop)
+    }
+
+    #[cfg(not(unix))]
+    fn run_epoll(self, _stop: &AtomicBool) -> std::io::Result<()> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "epoll transport requires Linux",
+        ))
+    }
+
+    fn run_threaded(self, stop: &AtomicBool) -> std::io::Result<()> {
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
+        let pending = Arc::new(AtomicUsize::new(0));
+        let workers = self.config.workers.max(1);
         std::thread::scope(|scope| {
-            for _ in 0..self.workers {
+            for _ in 0..workers {
                 let rx = Arc::clone(&rx);
                 let state = Arc::clone(&self.state);
+                let pending = Arc::clone(&pending);
+                let config = &self.config;
                 scope.spawn(move || loop {
                     // Holding the lock only while dequeuing: the handler
                     // runs unlocked so workers drain connections in parallel.
                     let conn = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
                     match conn {
-                        Ok(stream) => handle_connection(stream, &state),
+                        Ok(stream) => handle_connection(stream, &state, config, &pending),
                         Err(_) => break, // acceptor gone: shutting down
                     }
                 });
@@ -144,10 +232,10 @@ impl ServerHandle {
 
     /// Stops accepting and joins the server thread. In-flight connections
     /// finish their current request; idle keep-alive connections are
-    /// released by their read timeout or peer close.
+    /// released by their timeout, peer close, or loop teardown.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Wake the blocking accept so the loop observes the flag.
+        // Wake the blocking accept / poll wait so the loop observes the flag.
         let _ = TcpStream::connect(self.addr);
         if let Some(join) = self.join.take() {
             let _ = join.join();
@@ -161,9 +249,42 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Serves one connection for its keep-alive lifetime.
-fn handle_connection(stream: TcpStream, state: &ServiceState) {
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+/// Runs one parsed request through the shared protections (deadline header
+/// → 400/504, admission → 429) and the session layer. Both transports
+/// follow this exact status ordering so responses stay byte-identical.
+pub(crate) fn dispatch_request(
+    state: &ServiceState,
+    req: &crate::http::Request,
+    pending: &AtomicUsize,
+    max_pending: usize,
+    elapsed_ms: u64,
+) -> Response {
+    let deadline = match parse_deadline(req) {
+        Ok(d) => d,
+        Err(e) => return e.to_response(),
+    };
+    if pending.load(Ordering::SeqCst) >= max_pending {
+        return ServiceError::overloaded().to_response();
+    }
+    pending.fetch_add(1, Ordering::SeqCst);
+    let resp = match deadline {
+        Some(d) if elapsed_ms >= d => ServiceError::deadline_exceeded(d).to_response(),
+        _ => handle(state, req),
+    };
+    pending.fetch_sub(1, Ordering::SeqCst);
+    resp
+}
+
+/// Serves one connection for its keep-alive lifetime (threaded transport).
+fn handle_connection(
+    stream: TcpStream,
+    state: &ServiceState,
+    config: &ServerConfig,
+    pending: &AtomicUsize,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        config.request_timeout_ms.max(1),
+    )));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
@@ -175,17 +296,28 @@ fn handle_connection(stream: TcpStream, state: &ServiceState) {
             Ok(None) => break, // peer closed cleanly
             Ok(Some(req)) => {
                 let keep_alive = req.keep_alive();
-                let resp = handle(state, &req);
+                // A blocking worker dequeues the instant it parses, so the
+                // request has spent 0ms of its deadline budget here.
+                let resp = dispatch_request(state, &req, pending, config.max_pending, 0);
                 if resp.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
                     break;
                 }
             }
-            Err(e) if e.is_io => break, // timeout / reset / truncation: close silently
+            Err(e) if e.is_io => {
+                // The peer committed to a request (head parsed) and then
+                // stalled past the timeout: tell it so before closing.
+                // Anything else — reset, truncation, idle timeout — closes
+                // silently, exactly like the event loop.
+                if e.timed_out && e.head_parsed {
+                    let resp = ServiceError::request_timeout().to_response();
+                    let _ = resp.write_to(&mut writer, false);
+                }
+                break;
+            }
             Err(e) => {
                 // Protocol violation: the stream position is unknowable, so
                 // answer once and close.
-                let resp = crate::error::ServiceError::bad_request(format!("malformed HTTP: {e}"))
-                    .to_response();
+                let resp = ServiceError::bad_request(format!("malformed HTTP: {e}")).to_response();
                 let _ = Response::write_to(&resp, &mut writer, false);
                 break;
             }

@@ -23,6 +23,7 @@ fn spawn_server_with_state(state_dir: Option<std::path::PathBuf>) -> smin_servic
         graphs_dir: None,
         state_dir,
         cache_capacity: 64,
+        ..ServerConfig::default()
     };
     Server::bind(&config)
         .expect("bind ephemeral port")

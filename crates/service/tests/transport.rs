@@ -1,0 +1,298 @@
+//! Transport-equivalence and protection wire tests.
+//!
+//! The epoll event loop and the threaded fallback must be observationally
+//! identical: same response bytes for `/v1/select`, `/v1/select-batch`,
+//! and every error shape (429 admission, 504 deadline, 408 mid-body
+//! stall, 400 malformed framing). These tests drive real servers over both
+//! transports and pin the equivalences the ISSUE requires.
+
+use smin_service::{Client, Server, ServerConfig, ServerHandle, Transport};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+const REGISTER: &str = r#"{"id":"g","generate":{"kind":"er","n":120,"m":360,"seed":9}}"#;
+
+fn spawn(transport: Transport, tweak: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        cache_capacity: 64,
+        transport,
+        ..ServerConfig::default()
+    };
+    tweak(&mut config);
+    Server::bind(&config)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server")
+}
+
+fn client(handle: &ServerHandle) -> Client {
+    Client::connect(&handle.addr().to_string()).expect("connect")
+}
+
+fn epoll_available() -> bool {
+    smin_service::platform::supported()
+}
+
+/// Select items that exercise distinct cache keys, algorithms, and one
+/// duplicate (an in-batch cache hit when caching is on).
+fn batch_items() -> Vec<String> {
+    vec![
+        r#"{"eta":30,"seed":5,"cache":false}"#.into(),
+        r#"{"eta":25,"seed":6,"cache":false}"#.into(),
+        r#"{"eta":30,"seed":5,"cache":false}"#.into(),
+        r#"{"algo":"trim-b","batch":2,"eta":20,"seed":7,"cache":false}"#.into(),
+    ]
+}
+
+#[test]
+fn select_batch_is_byte_identical_to_sequential_selects() {
+    for transport in [Transport::Threaded, Transport::Epoll] {
+        if transport == Transport::Epoll && !epoll_available() {
+            continue;
+        }
+        let mut handle = spawn(transport, |_| {});
+        let mut c = client(&handle);
+        assert_eq!(c.post("/v1/graphs", REGISTER).unwrap().status, 201);
+
+        let items = batch_items();
+        // Reference: N sequential /v1/select calls.
+        let mut sequential = Vec::new();
+        for item in &items {
+            let mut body = item.clone();
+            body.insert_str(1, r#""graph":"g","#);
+            let resp = c.post("/v1/select", &body).unwrap();
+            assert_eq!(resp.status, 200, "{}", resp.text());
+            sequential.push(resp.body);
+        }
+
+        // The batch response must be the exact concatenation of those
+        // bodies inside the batch envelope — not merely JSON-equal.
+        let batch_body = format!(r#"{{"graph":"g","items":[{}]}}"#, items.join(","));
+        let resp = c.post("/v1/select-batch", &batch_body).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let mut expected = Vec::new();
+        expected.extend_from_slice(br#"{"graph":"g","count":4,"results":["#);
+        for (i, body) in sequential.iter().enumerate() {
+            if i > 0 {
+                expected.push(b',');
+            }
+            expected.extend_from_slice(body);
+        }
+        expected.extend_from_slice(b"]}");
+        assert_eq!(
+            resp.body, expected,
+            "{transport:?}: batch diverged from sequential selects"
+        );
+
+        drop(c);
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn transports_serve_identical_bytes() {
+    if !epoll_available() {
+        return;
+    }
+    let collect = |transport: Transport| -> Vec<Vec<u8>> {
+        let mut handle = spawn(transport, |_| {});
+        let mut c = client(&handle);
+        assert_eq!(c.post("/v1/graphs", REGISTER).unwrap().status, 201);
+        let select = r#"{"graph":"g","eta":30,"seed":5,"cache":false}"#;
+        let batch = format!(r#"{{"graph":"g","items":[{}]}}"#, batch_items().join(","));
+        let bodies = vec![
+            c.post("/v1/select", select).unwrap().body,
+            c.post("/v1/select-batch", &batch).unwrap().body,
+            c.post("/v1/select", r#"{"graph":"nope","eta":1}"#)
+                .unwrap()
+                .body,
+            c.post("/v1/select", "not json").unwrap().body,
+            c.get("/no/such/route").unwrap().body,
+        ];
+        drop(c);
+        handle.shutdown();
+        bodies
+    };
+    let threaded = collect(Transport::Threaded);
+    let epoll = collect(Transport::Epoll);
+    assert_eq!(threaded.len(), epoll.len());
+    for (i, (t, e)) in threaded.iter().zip(&epoll).enumerate() {
+        assert_eq!(t, e, "response {i} differs between transports");
+    }
+}
+
+#[test]
+fn overload_returns_deterministic_429_and_keeps_the_connection() {
+    const WANT: &str = r#"{"error":{"code":"overloaded","status":429,"message":"pending request queue is full; retry later"}}"#;
+    for transport in [Transport::Threaded, Transport::Epoll] {
+        if transport == Transport::Epoll && !epoll_available() {
+            continue;
+        }
+        // max_pending = 0: every request is over the high-water mark, so
+        // the rejection is deterministic rather than load-dependent.
+        let mut handle = spawn(transport, |c| c.max_pending = 0);
+        let mut c = client(&handle);
+        for _ in 0..3 {
+            let resp = c.post("/v1/select", r#"{"graph":"g","eta":5}"#).unwrap();
+            assert_eq!(resp.status, 429, "{transport:?}");
+            assert_eq!(resp.text(), WANT, "{transport:?}: 429 body must be stable");
+        }
+        drop(c);
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn expired_deadline_returns_deterministic_504() {
+    const WANT: &str = r#"{"error":{"code":"deadline_exceeded","status":504,"message":"deadline of 0ms exceeded before dispatch"}}"#;
+    for transport in [Transport::Threaded, Transport::Epoll] {
+        if transport == Transport::Epoll && !epoll_available() {
+            continue;
+        }
+        let mut handle = spawn(transport, |_| {});
+        let mut c = client(&handle);
+        // A zero budget is expired by definition on both transports.
+        let resp = c
+            .post_with_headers(
+                "/v1/select",
+                r#"{"graph":"g","eta":5}"#,
+                &[("X-Deadline-Millis", "0")],
+            )
+            .unwrap();
+        assert_eq!(resp.status, 504, "{transport:?}: {}", resp.text());
+        assert_eq!(resp.text(), WANT, "{transport:?}");
+
+        // A malformed budget is a 400 that keeps the connection alive.
+        let resp = c
+            .post_with_headers(
+                "/v1/select",
+                r#"{"graph":"g","eta":5}"#,
+                &[("X-Deadline-Millis", "soon")],
+            )
+            .unwrap();
+        assert_eq!(resp.status, 400, "{transport:?}");
+        assert!(resp.text().contains("X-Deadline-Millis"), "{transport:?}");
+        let resp = c.get("/healthz").unwrap();
+        assert_eq!(resp.status, 200, "{transport:?}: connection must survive");
+        drop(c);
+        handle.shutdown();
+    }
+}
+
+/// Writes `head` (a complete request head promising a body that never
+/// arrives) and returns everything the server sends before closing.
+fn stall_mid_body(addr: &str, head: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(head.as_bytes()).expect("write head");
+    s.flush().expect("flush");
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).expect("read until server close");
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[test]
+fn mid_body_stall_gets_408_before_close() {
+    for transport in [Transport::Threaded, Transport::Epoll] {
+        if transport == Transport::Epoll && !epoll_available() {
+            continue;
+        }
+        let mut handle = spawn(transport, |c| {
+            c.request_timeout_ms = 200;
+            c.idle_timeout_ms = 2_000;
+        });
+        let reply = stall_mid_body(
+            &handle.addr().to_string(),
+            "POST /v1/select HTTP/1.1\r\nHost: t\r\nContent-Length: 10\r\n\r\n{\"gr",
+        );
+        assert!(
+            reply.starts_with("HTTP/1.1 408 Request Timeout\r\n"),
+            "{transport:?}: got {reply:?}"
+        );
+        assert!(
+            reply.contains(r#""code":"request_timeout""#),
+            "{transport:?}: got {reply:?}"
+        );
+        assert!(
+            reply.contains("Connection: close"),
+            "{transport:?}: a timed-out request cannot keep the stream"
+        );
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn idle_stall_before_any_request_closes_silently() {
+    for transport in [Transport::Threaded, Transport::Epoll] {
+        if transport == Transport::Epoll && !epoll_available() {
+            continue;
+        }
+        let mut handle = spawn(transport, |c| {
+            c.request_timeout_ms = 200;
+            c.idle_timeout_ms = 200;
+        });
+        // No bytes at all: the idle timeout closes without a response.
+        let mut s = TcpStream::connect(handle.addr()).expect("connect");
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).expect("read until server close");
+        assert!(
+            out.is_empty(),
+            "{transport:?}: idle connections close silently, got {:?}",
+            String::from_utf8_lossy(&out)
+        );
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    if !epoll_available() {
+        return;
+    }
+    let mut handle = spawn(Transport::Epoll, |_| {});
+    let mut s = TcpStream::connect(handle.addr()).expect("connect");
+    // Two requests in one write; the second is only parsed after the
+    // first response flushes (one-at-a-time backpressure), but both must
+    // be answered, in order, on the one connection.
+    s.write_all(
+        b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+          GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    )
+    .expect("write");
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).expect("read both responses");
+    let text = String::from_utf8_lossy(&out);
+    assert_eq!(
+        text.matches("HTTP/1.1 200 OK\r\n").count(),
+        2,
+        "got {text:?}"
+    );
+    assert!(text.contains("Connection: keep-alive"));
+    assert!(text.contains("Connection: close"));
+    handle.shutdown();
+}
+
+#[test]
+fn idle_connections_scale_beyond_the_dispatch_pool() {
+    if !epoll_available() {
+        return;
+    }
+    // 2 dispatch threads, 64 concurrently-open keep-alive connections:
+    // impossible under the threaded transport (worker = connection), the
+    // point of the event loop. The CI load step scales this to 512.
+    let mut handle = spawn(Transport::Epoll, |c| c.workers = 2);
+    let addr = handle.addr().to_string();
+    let mut clients: Vec<Client> = (0..64)
+        .map(|i| Client::connect(&addr).unwrap_or_else(|e| panic!("connect {i}: {e}")))
+        .collect();
+    // Every connection stays open and usable while all the others are.
+    for (i, c) in clients.iter_mut().enumerate() {
+        let resp = c
+            .get("/healthz")
+            .unwrap_or_else(|e| panic!("conn {i}: {e}"));
+        assert_eq!(resp.status, 200, "conn {i}");
+    }
+    drop(clients);
+    handle.shutdown();
+}
