@@ -9,7 +9,7 @@
 //! costs a slab slot, not a thread: ≥512 idle keep-alive connections are
 //! served by `1 + dispatchers` threads total.
 //!
-//! Three protections keep the loop healthy under load:
+//! Four protections keep the loop healthy under load:
 //!
 //! * **Deadline wheel** — idle, mid-request (408 once the head was
 //!   parsed), and stuck-write timeouts, swept at [`WHEEL_SLOT_MS`]
@@ -20,13 +20,21 @@
 //! * **Per-request deadlines** — `X-Deadline-Millis` is checked when a
 //!   dispatch thread dequeues the request; an expired deadline returns a
 //!   structured 504 without running the selection.
+//! * **Pipelining bounds** — per-connection parse backlog is capped at
+//!   [`MAX_BUFFERED_BYTES`] (reads pause at the cap and resume as the
+//!   backlog drains), and each connection is driven by an *iterative*
+//!   state-machine loop ([`Loop::drive`]) with a bounded synchronous-
+//!   response budget per cycle, so a client pipelining thousands of
+//!   poll-thread-answerable requests (429s under overload, 400s from bad
+//!   deadline headers) can neither grow the poll thread's stack nor
+//!   monopolize it.
 //!
 //! Responses are byte-identical to the threaded fallback transport
 //! ([`crate::server`]): both run [`handle`] on fully-parsed requests and
 //! serialize through [`Response::write_to`] — the wire tests pin this.
 
 use crate::error::{parse_deadline, ServiceError};
-use crate::http::{Request, RequestParser, Response};
+use crate::http::{Request, RequestParser, Response, MAX_BUFFERED_BYTES};
 use crate::platform::{EpollEvent, Poller, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
 use crate::routes::{handle, ServiceState};
 use std::io::{ErrorKind, Read, Write};
@@ -43,6 +51,11 @@ const WHEEL_SLOT_MS: u64 = 100;
 const WHEEL_SLOTS: usize = 512;
 /// Socket read chunk.
 const READ_CHUNK: usize = 16 * 1024;
+/// How many responses the poll thread answers synchronously (400/408/429)
+/// on one connection per [`Loop::drive`] call before yielding; the
+/// connection is re-queued via the redrive list so other connections and
+/// timers run in between.
+const SYNC_RESPONSES_PER_DRIVE: usize = 64;
 /// Poller token of the accept listener.
 const TOKEN_LISTENER: u64 = u64::MAX;
 /// Poller token of the wake pipe (loopback socket pair).
@@ -351,6 +364,7 @@ pub(crate) fn serve(
         job_tx: Some(job_tx),
         completions: Arc::clone(&completions),
         pending: Arc::clone(&pending),
+        redrive: Vec::new(),
     };
 
     std::thread::scope(|scope| {
@@ -424,6 +438,18 @@ enum Parsed {
     Bad(String),
 }
 
+/// How [`Loop::begin_dispatch`] disposed of a parsed request.
+enum Dispatch {
+    /// Handed to the pool; the connection is deregistered until the
+    /// completion comes back.
+    Async,
+    /// Answered by the poll thread itself (400/429); the response sits in
+    /// the write buffer, not yet flushed.
+    Sync,
+    /// The connection was closed (shutdown race).
+    Closed,
+}
+
 /// The poll thread's whole mutable state.
 struct Loop<'a> {
     poller: Poller,
@@ -437,6 +463,9 @@ struct Loop<'a> {
     job_tx: Option<mpsc::Sender<Job>>,
     completions: Arc<Mutex<Vec<Done>>>,
     pending: Arc<AtomicUsize>,
+    /// Connections that exhausted their synchronous-response budget and
+    /// still hold parseable backlog; resumed on the next loop iteration.
+    redrive: Vec<(usize, u64)>,
 }
 
 impl Loop<'_> {
@@ -444,7 +473,14 @@ impl Loop<'_> {
         let mut events = vec![EpollEvent::default(); 1024];
         let mut expired = Vec::new();
         while !stop.load(Ordering::SeqCst) {
-            let n = self.poller.wait(&mut events, WHEEL_SLOT_MS as i32)?;
+            // Pending redrives must not wait out the poll timeout: poll
+            // without blocking, then resume them below.
+            let timeout = if self.redrive.is_empty() {
+                WHEEL_SLOT_MS as i32
+            } else {
+                0
+            };
+            let n = self.poller.wait(&mut events, timeout)?;
             for i in 0..n {
                 let Some((token, ready)) = events.get(i).map(|e| (e.token(), e.ready())) else {
                     break;
@@ -459,6 +495,13 @@ impl Loop<'_> {
                 }
             }
             self.apply_completions();
+            // Resume connections that ran out of synchronous-response
+            // budget last cycle (stale entries miss harmlessly on the
+            // slab's generation check).
+            let redrive = std::mem::take(&mut self.redrive);
+            for (idx, gen32) in redrive {
+                self.drive(idx, gen32);
+            }
             expired.clear();
             self.wheel.advance(now_ms(self.epoch), &mut expired);
             for e in &expired {
@@ -568,7 +611,7 @@ impl Loop<'_> {
             return;
         }
         if ready & EPOLLOUT != 0 {
-            self.flush_write(idx, gen32);
+            self.drive(idx, gen32);
         }
         if ready & (EPOLLIN | EPOLLHUP) != 0 {
             self.read_ready(idx, gen32);
@@ -590,9 +633,17 @@ impl Loop<'_> {
                 if conn.write.is_empty() {
                     self.close_conn(idx, gen32);
                 } else {
-                    self.flush_write(idx, gen32);
+                    self.drive(idx, gen32);
                 }
                 return;
+            }
+            // Backlog cap: stop pulling bytes off the socket until the
+            // already-buffered pipelined requests are consumed. The cap
+            // exceeds any single request, so `drive` below always makes
+            // progress, and level-triggered readiness re-reports the
+            // unread socket data once the backlog drains.
+            if conn.parser.buffered_len() >= MAX_BUFFERED_BYTES {
+                break;
             }
             match conn.stream.read(&mut buf) {
                 Ok(0) => {
@@ -608,65 +659,141 @@ impl Loop<'_> {
                 }
             }
         }
-        self.advance_parser(idx, gen32);
+        self.drive(idx, gen32);
     }
 
-    /// Pulls the next complete request out of the parse buffer and moves
-    /// the connection along its state machine.
-    fn advance_parser(&mut self, idx: usize, gen32: u64) {
-        let parsed = {
-            let Some(conn) = self.slab.get_mut(idx, gen32) else {
-                return;
-            };
-            // One request at a time: a response being computed or written
-            // blocks the next pipelined request (natural backpressure).
-            if conn.busy || !conn.write.is_empty() {
-                return;
-            }
-            match conn.parser.try_next() {
-                Ok(Some(req)) => Parsed::Req(req),
-                Ok(None) if conn.read_closed => Parsed::Eof,
-                Ok(None) => Parsed::Wait(if conn.parser.mid_request() {
-                    TimerClass::Request
+    /// Drives one connection's state machine to quiescence, iteratively:
+    /// flush the queued response (if any), then parse the next buffered
+    /// request, then loop. Returns when the connection blocks on I/O
+    /// (interest re-armed), hands a request to the dispatch pool, closes,
+    /// or exhausts its synchronous-response budget for this cycle (then
+    /// re-queued on `redrive`). A flat loop rather than mutual recursion:
+    /// a client pipelining thousands of poll-thread-answerable requests
+    /// must not grow the stack per request.
+    fn drive(&mut self, idx: usize, gen32: u64) {
+        let mut sync_budget = SYNC_RESPONSES_PER_DRIVE;
+        loop {
+            // Phase 1: push out whatever is queued for writing.
+            let outcome = {
+                let Some(conn) = self.slab.get_mut(idx, gen32) else {
+                    return;
+                };
+                if conn.write.is_empty() {
+                    None
                 } else {
-                    TimerClass::Idle
-                }),
-                Err(e) => Parsed::Bad(e.message),
+                    let Conn { stream, write, .. } = conn;
+                    Some(write.write_to(stream))
+                }
+            };
+            match outcome {
+                Some(WriteOutcome::Error) => {
+                    self.close_conn(idx, gen32);
+                    return;
+                }
+                Some(WriteOutcome::Pending) => {
+                    if self.set_interest(idx, gen32, EPOLLOUT).is_err() {
+                        self.close_conn(idx, gen32);
+                        return;
+                    }
+                    self.arm_timer(idx, gen32, TimerClass::Write);
+                    return;
+                }
+                Some(WriteOutcome::Done) => {
+                    let close = {
+                        let Some(conn) = self.slab.get_mut(idx, gen32) else {
+                            return;
+                        };
+                        conn.write.set(Vec::new());
+                        conn.close_after_write
+                    };
+                    if close {
+                        self.close_conn(idx, gen32);
+                        return;
+                    }
+                }
+                None => {}
             }
-        };
-        match parsed {
-            Parsed::Req(req) => self.begin_dispatch(idx, gen32, req),
-            Parsed::Eof => self.close_conn(idx, gen32),
-            Parsed::Wait(class) => self.arm_timer(idx, gen32, class),
-            Parsed::Bad(message) => {
-                // Protocol violation: the stream position is unknowable, so
-                // answer once and close — the same contract as the threaded
-                // transport.
-                let resp =
-                    ServiceError::bad_request(format!("malformed HTTP: {message}")).to_response();
-                self.respond(idx, gen32, &resp, false);
+
+            // Phase 2: the write side is clear — pull the next request.
+            // One at a time: a response being computed or written blocks
+            // the next pipelined request (natural backpressure).
+            let parsed = {
+                let Some(conn) = self.slab.get_mut(idx, gen32) else {
+                    return;
+                };
+                if conn.busy {
+                    return; // a dispatch is running; its completion re-drives
+                }
+                match conn.parser.try_next() {
+                    Ok(Some(req)) => Parsed::Req(req),
+                    Ok(None) if conn.read_closed => Parsed::Eof,
+                    Ok(None) => Parsed::Wait(if conn.parser.mid_request() {
+                        TimerClass::Request
+                    } else {
+                        TimerClass::Idle
+                    }),
+                    Err(e) => Parsed::Bad(e.message),
+                }
+            };
+            match parsed {
+                Parsed::Req(req) => match self.begin_dispatch(idx, gen32, req) {
+                    // Deregistered until the pool answers; the completion
+                    // re-enters `drive`.
+                    Dispatch::Async => return,
+                    Dispatch::Closed => return,
+                    // A 400/429 was queued; loop back to flush it.
+                    Dispatch::Sync => {}
+                },
+                Parsed::Eof => {
+                    self.close_conn(idx, gen32);
+                    return;
+                }
+                Parsed::Wait(class) => {
+                    if self.set_interest(idx, gen32, EPOLLIN).is_err() {
+                        self.close_conn(idx, gen32);
+                        return;
+                    }
+                    self.arm_timer(idx, gen32, class);
+                    return;
+                }
+                Parsed::Bad(message) => {
+                    // Protocol violation: the stream position is
+                    // unknowable, so answer once and close — the same
+                    // contract as the threaded transport.
+                    let resp = ServiceError::bad_request(format!("malformed HTTP: {message}"))
+                        .to_response();
+                    self.queue_response(idx, gen32, &resp, false);
+                }
+            }
+            // A synchronous response was queued this iteration: spend
+            // budget, and once it is gone yield so other connections and
+            // the timer wheel get the poll thread.
+            sync_budget -= 1;
+            if sync_budget == 0 {
+                self.redrive.push((idx, gen32));
+                return;
             }
         }
     }
 
     /// Admission control + deadline stamping, then hand-off to the pool.
-    fn begin_dispatch(&mut self, idx: usize, gen32: u64, req: Request) {
+    fn begin_dispatch(&mut self, idx: usize, gen32: u64, req: Request) -> Dispatch {
         let keep_alive = req.keep_alive();
         let deadline_ms = match parse_deadline(&req) {
             Ok(d) => d,
             Err(e) => {
-                self.respond(idx, gen32, &e.to_response(), keep_alive);
-                return;
+                self.queue_response(idx, gen32, &e.to_response(), keep_alive);
+                return Dispatch::Sync;
             }
         };
         if self.pending.load(Ordering::SeqCst) >= self.cfg.max_pending {
-            self.respond(
+            self.queue_response(
                 idx,
                 gen32,
                 &ServiceError::overloaded().to_response(),
                 keep_alive,
             );
-            return;
+            return Dispatch::Sync;
         }
         self.pending.fetch_add(1, Ordering::SeqCst);
         // Deregister while the dispatch runs: no read backpressure games,
@@ -691,23 +818,23 @@ impl Loop<'_> {
             if tx.send(job).is_err() {
                 self.pending.fetch_sub(1, Ordering::SeqCst);
                 self.close_conn(idx, gen32);
+                return Dispatch::Closed;
             }
         }
+        Dispatch::Async
     }
 
-    /// Queues a response the poll thread produced itself (400/408/429).
-    fn respond(&mut self, idx: usize, gen32: u64, resp: &Response, keep_alive: bool) {
+    /// Queues a response the poll thread produced itself (400/408/429)
+    /// into the connection's write buffer; `drive` flushes it.
+    fn queue_response(&mut self, idx: usize, gen32: u64, resp: &Response, keep_alive: bool) {
         let mut bytes = Vec::new();
         // Writing into a Vec cannot fail.
         let _ = resp.write_to(&mut bytes, keep_alive);
-        {
-            let Some(conn) = self.slab.get_mut(idx, gen32) else {
-                return;
-            };
-            conn.write.set(bytes);
-            conn.close_after_write = !keep_alive;
-        }
-        self.flush_write(idx, gen32);
+        let Some(conn) = self.slab.get_mut(idx, gen32) else {
+            return;
+        };
+        conn.write.set(bytes);
+        conn.close_after_write = !keep_alive;
     }
 
     /// Applies responses the dispatch pool queued.
@@ -725,49 +852,7 @@ impl Loop<'_> {
                 conn.write.set(d.bytes);
                 conn.close_after_write = d.close;
             }
-            self.flush_write(d.idx, d.gen32);
-        }
-    }
-
-    /// Drives the pending write; transitions the state machine on the
-    /// outcome (keep-alive → reading, close-after-write → gone).
-    fn flush_write(&mut self, idx: usize, gen32: u64) {
-        let outcome = {
-            let Some(conn) = self.slab.get_mut(idx, gen32) else {
-                return;
-            };
-            let Conn { stream, write, .. } = conn;
-            write.write_to(stream)
-        };
-        match outcome {
-            WriteOutcome::Done => {
-                let close = {
-                    let Some(conn) = self.slab.get_mut(idx, gen32) else {
-                        return;
-                    };
-                    conn.write.set(Vec::new());
-                    conn.close_after_write
-                };
-                if close {
-                    self.close_conn(idx, gen32);
-                    return;
-                }
-                if self.set_interest(idx, gen32, EPOLLIN).is_err() {
-                    self.close_conn(idx, gen32);
-                    return;
-                }
-                self.arm_timer(idx, gen32, TimerClass::Idle);
-                // A pipelined request may already be buffered.
-                self.advance_parser(idx, gen32);
-            }
-            WriteOutcome::Pending => {
-                if self.set_interest(idx, gen32, EPOLLOUT).is_err() {
-                    self.close_conn(idx, gen32);
-                    return;
-                }
-                self.arm_timer(idx, gen32, TimerClass::Write);
-            }
-            WriteOutcome::Error => self.close_conn(idx, gen32),
+            self.drive(d.idx, d.gen32);
         }
     }
 
@@ -799,7 +884,8 @@ impl Loop<'_> {
             Act::Close => self.close_conn(e.idx, e.gen32),
             Act::Timeout408 => {
                 let resp = ServiceError::request_timeout().to_response();
-                self.respond(e.idx, e.gen32, &resp, false);
+                self.queue_response(e.idx, e.gen32, &resp, false);
+                self.drive(e.idx, e.gen32);
             }
         }
     }

@@ -16,6 +16,14 @@ pub const MAX_BODY_BYTES: usize = 4 << 20;
 pub const MAX_LINE_BYTES: usize = 8 << 10;
 /// Maximum number of headers per request.
 pub const MAX_HEADERS: usize = 100;
+/// Per-connection cap on bytes buffered ahead of the incremental parser.
+/// Sized so any single legal request (head + body) always fits — a parser
+/// waiting for more bytes is therefore always below it — which means a
+/// connection at the cap necessarily holds at least one complete request
+/// (or a protocol error) that can be consumed without reading further.
+/// The transport stops reading the socket at the cap and resumes as the
+/// pipelined backlog drains, bounding per-connection memory.
+pub const MAX_BUFFERED_BYTES: usize = MAX_BODY_BYTES + 2 * MAX_LINE_BYTES;
 
 /// A parse-level failure; mapped to a 400 close-connection response.
 #[derive(Debug)]

@@ -705,11 +705,14 @@ fn select_batch(state: &ServiceState, body: &[u8]) -> Result<Response, ServiceEr
     let mut session = entry.checkout_session();
     let mut results = Vec::new();
     let mut hits = 0usize;
+    let mut bypassed = 0usize;
     let mut outcome = Ok(());
     for (i, req) in reqs.iter().enumerate() {
         match run_select_item(state, req, &mut session) {
             Ok((bytes, hit)) => {
-                if hit {
+                if !req.use_cache {
+                    bypassed += 1;
+                } else if hit {
                     hits += 1;
                 }
                 results.push(bytes);
@@ -740,7 +743,16 @@ fn select_batch(state: &ServiceState, body: &[u8]) -> Result<Response, ServiceEr
     }
     body.extend_from_slice(b"]}");
 
-    let cache_status = if hits == results.len() {
+    // Mirrors the single-select header per item — HIT, MISS, or BYPASS
+    // (`"cache": false`) — collapsed to one value when every item agrees
+    // and MIXED otherwise, so opting out of the cache is never reported
+    // as a miss.
+    let n = results.len();
+    let cache_status = if bypassed == n {
+        "BYPASS"
+    } else if bypassed > 0 {
+        "MIXED"
+    } else if hits == n {
         "HIT"
     } else if hits == 0 {
         "MISS"
@@ -928,6 +940,41 @@ mod tests {
         );
         assert_eq!(cache_of(&bypass).as_deref(), Some("BYPASS"));
         assert_eq!(bypass.body, first.body, "bypass recomputes the same bytes");
+    }
+
+    #[test]
+    fn batch_cache_header_distinguishes_bypass_from_miss() {
+        let s = state();
+        register_er(&s, "g", 80);
+        let cache_of = |r: &Response| {
+            r.headers
+                .iter()
+                .find(|(k, _)| k == "X-Cache")
+                .map(|(_, v)| v.clone())
+        };
+        // Every item opting out of the cache reports BYPASS, mirroring
+        // the single-select header — not MISS.
+        let all_bypass = post(
+            &s,
+            "/v1/select-batch",
+            r#"{"graph":"g","items":[{"eta":20,"seed":3,"cache":false},{"eta":25,"seed":4,"cache":false}]}"#,
+        );
+        assert_eq!(all_bypass.status, 200, "{}", body_str(&all_bypass));
+        assert_eq!(cache_of(&all_bypass).as_deref(), Some("BYPASS"));
+        // Cacheable items never seen before: MISS; the same batch again:
+        // every item answered from the cache.
+        let batch = r#"{"graph":"g","items":[{"eta":20,"seed":3},{"eta":25,"seed":4}]}"#;
+        let all_miss = post(&s, "/v1/select-batch", batch);
+        assert_eq!(cache_of(&all_miss).as_deref(), Some("MISS"));
+        let all_hit = post(&s, "/v1/select-batch", batch);
+        assert_eq!(cache_of(&all_hit).as_deref(), Some("HIT"));
+        // A bypass item alongside cacheable ones: MIXED.
+        let mixed = post(
+            &s,
+            "/v1/select-batch",
+            r#"{"graph":"g","items":[{"eta":20,"seed":3},{"eta":25,"seed":4,"cache":false}]}"#,
+        );
+        assert_eq!(cache_of(&mixed).as_deref(), Some("MIXED"));
     }
 
     #[test]

@@ -67,8 +67,10 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Which service core runs the connections.
     pub transport: Transport,
-    /// Admission high-water mark: requests beyond this many queued +
-    /// running dispatches are answered with a deterministic 429.
+    /// Admission high-water mark: beyond this much pending work — queued +
+    /// running dispatches under epoll, queued connections + running
+    /// requests under the threaded fallback — new requests are answered
+    /// with a deterministic 429.
     pub max_pending: usize,
     /// Keep-alive idle timeout (epoll transport; silent close).
     pub idle_timeout_ms: u64,
@@ -180,7 +182,13 @@ impl Server {
                     // runs unlocked so workers drain connections in parallel.
                     let conn = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
                     match conn {
-                        Ok(stream) => handle_connection(stream, &state, config, &pending),
+                        Ok(stream) => {
+                            // Leaving the queue: the connection stops
+                            // counting as queued; its requests count as
+                            // running via `dispatch_request` instead.
+                            pending.fetch_sub(1, Ordering::SeqCst);
+                            handle_connection(stream, &state, config, &pending)
+                        }
                         Err(_) => break, // acceptor gone: shutting down
                     }
                 });
@@ -190,7 +198,14 @@ impl Server {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
+                // Accepted-but-unserved connections count toward the
+                // admission high-water mark, mirroring the epoll loop's
+                // queued-dispatch accounting: with every worker occupied, a
+                // backlog beyond `max_pending` turns into 429s instead of
+                // building up invisibly in the channel.
+                pending.fetch_add(1, Ordering::SeqCst);
                 if tx.send(stream).is_err() {
+                    pending.fetch_sub(1, Ordering::SeqCst);
                     break;
                 }
             }

@@ -274,6 +274,99 @@ fn pipelined_requests_are_answered_in_order() {
 }
 
 #[test]
+fn pipelined_sync_response_flood_is_answered_iteratively() {
+    if !epoll_available() {
+        return;
+    }
+    let mut handle = spawn(Transport::Epoll, |_| {});
+    // Thousands of pipelined requests whose responses the poll thread
+    // produces itself (400: malformed deadline header), padded with bodies
+    // so the backlog tops the per-connection buffer cap. Regression for
+    // two failure modes of the old state machine: mutual recursion
+    // (flush → parse → respond → flush) overflowing the poll thread's
+    // stack, and unbounded per-connection parse buffering.
+    const N: usize = 1_500;
+    let pad = "x".repeat(4 << 10);
+    let mut blob = Vec::new();
+    for _ in 0..N {
+        blob.extend_from_slice(
+            format!(
+                "POST /v1/select HTTP/1.1\r\nHost: t\r\nX-Deadline-Millis: soon\r\n\
+                 Content-Length: {}\r\n\r\n{pad}",
+                pad.len(),
+            )
+            .as_bytes(),
+        );
+    }
+    blob.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    assert!(
+        blob.len() > smin_service::http::MAX_BUFFERED_BYTES,
+        "flood must exceed the per-connection backlog cap to exercise it"
+    );
+
+    let s = TcpStream::connect(handle.addr()).expect("connect");
+    let mut writer = s.try_clone().expect("clone stream");
+    // Write and read concurrently: once the server pauses reads at the
+    // backlog cap, forward progress requires draining its responses.
+    let w = std::thread::spawn(move || -> std::io::Result<()> {
+        writer.write_all(&blob)?;
+        writer.flush()
+    });
+    let mut out = Vec::new();
+    let mut reader = s;
+    reader.read_to_end(&mut out).expect("read all responses");
+    w.join().expect("writer thread").expect("write flood");
+
+    let text = String::from_utf8_lossy(&out);
+    assert_eq!(
+        text.matches("HTTP/1.1 400 Bad Request\r\n").count(),
+        N,
+        "every pipelined request must be answered"
+    );
+    assert_eq!(
+        text.matches("HTTP/1.1 200 OK\r\n").count(),
+        1,
+        "the connection stays usable through the whole flood"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn threaded_admission_counts_queued_connections() {
+    let mut handle = spawn(Transport::Threaded, |c| {
+        c.workers = 1;
+        c.max_pending = 2;
+        c.request_timeout_ms = 1_000;
+    });
+    let mut a = client(&handle);
+    assert_eq!(a.get("/healthz").unwrap().status, 200);
+    // The lone worker now owns connection A for its keep-alive lifetime;
+    // these two sit accepted-but-unserved and must count toward the
+    // admission high-water mark (they can never be "running": that would
+    // need a free worker).
+    let b = TcpStream::connect(handle.addr()).expect("connect b");
+    let c = TcpStream::connect(handle.addr()).expect("connect c");
+    // The acceptor registers them asynchronously; poll until the knob bites.
+    let mut saw_429 = false;
+    for _ in 0..400 {
+        let resp = a.get("/healthz").unwrap();
+        if resp.status == 429 {
+            saw_429 = true;
+            break;
+        }
+        assert_eq!(resp.status, 200);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(saw_429, "queued connections must trip admission control");
+    // Close the queued connections before shutdown so the worker drains
+    // them with an EOF instead of waiting out their read timeout.
+    drop(b);
+    drop(c);
+    drop(a);
+    handle.shutdown();
+}
+
+#[test]
 fn idle_connections_scale_beyond_the_dispatch_pool() {
     if !epoll_available() {
         return;
