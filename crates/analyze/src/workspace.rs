@@ -37,6 +37,8 @@ const REQUEST_PATH_FILES: &[&str] = &[
     "crates/service/src/server.rs",
     "crates/service/src/event_loop.rs",
     "crates/service/src/platform.rs",
+    "crates/service/src/metrics.rs",
+    "crates/service/src/trace.rs",
 ];
 
 /// Files allowed to perform the narrowing the `checked-cast` rule forbids —
@@ -71,6 +73,15 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
     }
     if DETERMINISTIC_CRATES.iter().any(|c| rel.starts_with(c)) {
         return Some(RuleSet::deterministic());
+    }
+    // The obs-timing scope: `smin-obs` is the one crate whose *job* is
+    // reading the monotonic clock (spans, histograms) — its values travel
+    // in headers, `/metrics`, and trace logs, never response bodies. Every
+    // other deterministic rule still applies in full.
+    if rel.starts_with("crates/obs/") {
+        let mut r = RuleSet::deterministic();
+        r.wall_clock = false;
+        return Some(r);
     }
     // The facade crate re-exports the deterministic stack; hold it to the
     // same bar.
@@ -161,6 +172,15 @@ mod tests {
         assert!(el.panic_in_request_path && el.wall_clock);
         let platform = rules_for("crates/service/src/platform.rs").unwrap();
         assert!(platform.panic_in_request_path && platform.wall_clock);
+        let metrics = rules_for("crates/service/src/metrics.rs").unwrap();
+        assert!(metrics.panic_in_request_path && metrics.wall_clock);
+        let trace = rules_for("crates/service/src/trace.rs").unwrap();
+        assert!(trace.panic_in_request_path && trace.wall_clock);
+        let obs = rules_for("crates/obs/src/lib.rs").unwrap();
+        assert!(
+            !obs.wall_clock && obs.hash_iteration && obs.ambient_rng && !obs.panic_in_request_path,
+            "obs-timing scope: clock reads allowed, everything else deterministic"
+        );
         let core = rules_for("crates/core/src/trim.rs").unwrap();
         assert!(!core.panic_in_request_path && core.wall_clock && core.checked_cast);
         let helper = rules_for("crates/graph/src/cast.rs").unwrap();

@@ -27,6 +27,10 @@
 //!   per-item medians and their ratio; `--batch-min-speedup F` turns the
 //!   ratio into a hard gate.
 //!
+//! Every load run ends with a `GET /metrics` scrape; the request and
+//! transport-error (408/429/504) counters land in the `--out` artifact's
+//! `metrics` section as informational leaves.
+//!
 //! ```text
 //! svc_load --addr 127.0.0.1:7878 --smoke
 //! svc_load --addr 127.0.0.1:7878 --requests 100 --n 10000 --eta 500
@@ -78,8 +82,9 @@ USAGE:
 
 --out (load mode) also writes the run as a JSON trajectory artifact
 (latency percentiles, req/s, cold->warm split, plus `connections` and
-`batch` sections when those phases ran) in the BENCH_*.json style
-consumed by `asm bench-check`.";
+`batch` sections when those phases ran, and a `metrics` section with
+request/error counters scraped from GET /metrics) in the BENCH_*.json
+style consumed by `asm bench-check`.";
 
 fn parse_args() -> Result<LoadArgs, String> {
     let mut out = LoadArgs {
@@ -426,6 +431,67 @@ fn batch_phase(args: &LoadArgs) -> Result<BatchStats, String> {
     })
 }
 
+/// Counters scraped from `GET /metrics` once every phase has finished.
+/// Counters are server-lifetime, not per-run: against a warm server they can
+/// exceed this run's request count (CI starts a fresh server and asserts
+/// equality there). Recorded in the `--out` artifact as informational
+/// (non-`median`) leaves so `asm bench-check` never gates on them.
+struct ScrapedMetrics {
+    requests_select: u64,
+    requests_select_batch: u64,
+    errors_408: u64,
+    errors_429: u64,
+    errors_504: u64,
+}
+
+/// Extracts one sample from a Prometheus text exposition. `series` is the
+/// full sample name including its label set, e.g.
+/// `smin_http_errors_total{status="408"}`; the exposition emits every series
+/// unconditionally (zeros included), so a missing line is a contract break.
+fn counter_sample(body: &str, series: &str) -> Result<u64, String> {
+    let prefix = format!("{series} ");
+    body.lines()
+        .find_map(|l| l.strip_prefix(prefix.as_str()))
+        .ok_or_else(|| format!("metrics: series {series} missing from exposition"))?
+        .trim()
+        .parse::<u64>()
+        .map_err(|e| format!("metrics: bad sample for {series}: {e}"))
+}
+
+fn metrics_phase(args: &LoadArgs) -> Result<ScrapedMetrics, String> {
+    let mut c = Client::connect(&args.addr).map_err(|e| format!("metrics: connect: {e}"))?;
+    let resp = c
+        .get("/metrics")
+        .map_err(|e| format!("GET /metrics: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!(
+            "GET /metrics: HTTP {} — {}",
+            resp.status,
+            resp.text()
+        ));
+    }
+    let body = resp.text();
+    let scraped = ScrapedMetrics {
+        requests_select: counter_sample(&body, "smin_http_requests_total{route=\"select\"}")?,
+        requests_select_batch: counter_sample(
+            &body,
+            "smin_http_requests_total{route=\"select_batch\"}",
+        )?,
+        errors_408: counter_sample(&body, "smin_http_errors_total{status=\"408\"}")?,
+        errors_429: counter_sample(&body, "smin_http_errors_total{status=\"429\"}")?,
+        errors_504: counter_sample(&body, "smin_http_errors_total{status=\"504\"}")?,
+    };
+    println!(
+        "metrics: server-lifetime selects = {} single + {} batch; errors 408/429/504 = {}/{}/{}",
+        scraped.requests_select,
+        scraped.requests_select_batch,
+        scraped.errors_408,
+        scraped.errors_429,
+        scraped.errors_504,
+    );
+    Ok(scraped)
+}
+
 fn load(args: &LoadArgs) -> Result<(), String> {
     let mut c = Client::connect(&args.addr).map_err(|e| format!("connect {}: {e}", args.addr))?;
     expect_json("GET /healthz", c.get("/healthz"))?;
@@ -539,6 +605,8 @@ fn load(args: &LoadArgs) -> Result<(), String> {
     } else {
         None
     };
+    // Always last, so the scraped counters cover every phase above.
+    let scraped = metrics_phase(args)?;
 
     if let Some(path) = &args.out {
         // Hand-formatted like the other BENCH_*.json artifacts. Only the
@@ -568,6 +636,16 @@ fn load(args: &LoadArgs) -> Result<(), String> {
                 b.k, b.items, single.p50, batched.p50, b.speedup,
             ));
         }
+        // Server-lifetime counters from the final /metrics scrape. All
+        // informational: no "median" leaves, so bench-check ignores them.
+        extra.push_str(&format!(
+            ",\n  \"metrics\": {{ \"requests_select\": {}, \"requests_select_batch\": {}, \"errors\": {{ \"408\": {}, \"429\": {}, \"504\": {} }} }}",
+            scraped.requests_select,
+            scraped.requests_select_batch,
+            scraped.errors_408,
+            scraped.errors_429,
+            scraped.errors_504,
+        ));
         let json = format!(
             "{{\n  \
                \"bench\": \"svc_load\",\n  \

@@ -296,6 +296,9 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     let state_dir = f.get("state-dir").map(std::path::PathBuf::from);
     let transport = smin_service::Transport::parse(f.get("transport").unwrap_or("auto"))?;
     let max_pending: usize = f.get_or("max-pending", 1024)?;
+    // Structured observability: one JSON line per request, written off the
+    // request path by a dedicated log thread.
+    let trace_log = f.get("trace-log").map(std::path::PathBuf::from);
 
     let config = smin_service::ServerConfig {
         addr,
@@ -305,13 +308,14 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         cache_capacity,
         transport,
         max_pending,
+        trace_log: trace_log.clone(),
         ..smin_service::ServerConfig::default()
     };
     let server =
         smin_service::Server::bind(&config).map_err(|e| format!("{}: {e}", config.addr))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     println!(
-        "asm serve: listening on http://{addr} ({workers} workers, transport: {:?}, graphs dir: {}, state dir: {}, cache: {cache_capacity}, max pending: {max_pending})",
+        "asm serve: listening on http://{addr} ({workers} workers, transport: {:?}, graphs dir: {}, state dir: {}, cache: {cache_capacity}, max pending: {max_pending}, trace log: {})",
         server.resolved_transport(),
         graphs_dir
             .as_deref()
@@ -319,8 +323,11 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         state_dir
             .as_deref()
             .map_or("none".to_string(), |p| p.display().to_string()),
+        trace_log
+            .as_deref()
+            .map_or("off".to_string(), |p| p.display().to_string()),
     );
-    println!("endpoints: GET /healthz · GET/POST /v1/graphs · DELETE /v1/graphs/{{id}} · POST /v1/select · POST /v1/select-batch");
+    println!("endpoints: GET /healthz · GET /metrics · GET/POST /v1/graphs · DELETE /v1/graphs/{{id}} · POST /v1/select · POST /v1/select-batch");
     static NEVER_STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
     server.run(&NEVER_STOP).map_err(|e| e.to_string())
 }
@@ -624,6 +631,14 @@ mod tests {
         assert!(err.contains("definitely"), "got: {err}");
         let err = serve(&to_args(&["--transport", "uring"])).unwrap_err();
         assert!(err.contains("uring"), "got: {err}");
+        let err = serve(&to_args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--trace-log",
+            "/no/such/dir/xyz/trace.jsonl",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("trace log"), "got: {err}");
     }
 
     #[test]

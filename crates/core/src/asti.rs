@@ -59,6 +59,20 @@ impl AstiSession {
     pub fn pool_heap_bytes(&self) -> usize {
         self.scratch.pool().heap_bytes()
     }
+
+    /// Per-stage select timings (sketch generation vs coverage selection)
+    /// accumulated by the most recent [`asti_in`] run on this session.
+    /// Observability only — headers, `/metrics`, trace logs — never bodies.
+    pub fn stage_micros(&self) -> crate::trim::StageMicros {
+        self.scratch.stage_micros()
+    }
+
+    /// CELF heap / scan traffic of the most recent coverage selection —
+    /// the sampling layer's instrumentation counters, surfaced for the
+    /// session layer's metrics.
+    pub fn select_traffic(&self) -> smin_sampling::coverage::SelectTraffic {
+        self.scratch.engine().select_traffic()
+    }
 }
 
 /// Runs ASTI until at least `eta` nodes are active according to `oracle`.
@@ -125,6 +139,7 @@ pub fn asti_in(
         residual, scratch, ..
     } = session;
     residual.reset();
+    scratch.reset_stage_micros();
     for (u, &active) in oracle.active_mask().iter().enumerate() {
         if active {
             residual.kill(u32_of(u));

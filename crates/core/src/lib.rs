@@ -39,5 +39,5 @@ pub use error::AsmError;
 pub use nonadaptive::{nonadaptive_greedy, NonAdaptiveOutput, NonAdaptiveParams};
 pub use params::{AstiParams, TrimParams};
 pub use report::{AstiReport, RoundReport};
-pub use trim::{trim, TrimOutput};
+pub use trim::{trim, StageMicros, TrimOutput};
 pub use trim_b::{trim_b, TrimBOutput};

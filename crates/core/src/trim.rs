@@ -48,6 +48,22 @@ pub struct TrimOutput {
     pub edges_examined: usize,
 }
 
+/// Cumulative per-stage wall time, in microseconds, accumulated by TRIM /
+/// TRIM-B since the last [`TrimScratch::reset_stage_micros`].
+///
+/// Observability output only: the values feed `/metrics` histograms,
+/// trace-log lines, and `X-Stage-Micros` response headers — never response
+/// bodies — so selections stay bit-identical with timing on. The clock
+/// reads live inside [`smin_obs::Span`], keeping this crate free of
+/// wall-clock calls.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageMicros {
+    /// Time inside sketch-pool growth (`SketchGenPool::generate`).
+    pub sketch: u64,
+    /// Time inside coverage selection (argmax / greedy over the pool).
+    pub coverage: u64,
+}
+
 /// Reusable cross-round scratch (sketch pool, single-root sampler for the
 /// baselines, the parallel sketch-generation pool, and the shared coverage
 /// engine behind argmax / greedy selection).
@@ -56,6 +72,7 @@ pub struct TrimScratch {
     pub(crate) sampler: MrrSampler,
     pub(crate) sketch_gen: SketchGenPool,
     pub(crate) engine: CoverageEngine,
+    pub(crate) stage: StageMicros,
 }
 
 impl TrimScratch {
@@ -66,6 +83,7 @@ impl TrimScratch {
             sampler: MrrSampler::new(n),
             sketch_gen: SketchGenPool::new(n),
             engine: CoverageEngine::new(),
+            stage: StageMicros::default(),
         }
     }
 
@@ -79,6 +97,16 @@ impl TrimScratch {
     /// instrumentation counters — scan compaction, CELF heap traffic).
     pub fn engine(&self) -> &CoverageEngine {
         &self.engine
+    }
+
+    /// Per-stage timings accumulated since the last reset.
+    pub fn stage_micros(&self) -> StageMicros {
+        self.stage
+    }
+
+    /// Zeroes the stage accumulators (called at the start of each run).
+    pub fn reset_stage_micros(&mut self) {
+        self.stage = StageMicros::default();
     }
 }
 
@@ -180,21 +208,28 @@ pub fn trim(
         pool,
         sketch_gen,
         engine,
+        stage,
         ..
     } = scratch;
     pool.reset();
     let mut edges_examined = 0usize;
 
-    edges_examined += sketch_gen
-        .generate(&job, sched.theta0, threads, pool)
-        .edges_examined;
+    {
+        let _span = smin_obs::Span::enter(&mut stage.sketch);
+        edges_examined += sketch_gen
+            .generate(&job, sched.theta0, threads, pool)
+            .edges_examined;
+    }
 
     let mut iterations = 0;
     loop {
         iterations += 1;
-        let (node, coverage) = engine
-            .argmax(pool)
-            .expect("pool has non-empty sets: roots are alive");
+        let (node, coverage) = {
+            let _span = smin_obs::Span::enter(&mut stage.coverage);
+            engine
+                .argmax(pool)
+                .expect("pool has non-empty sets: roots are alive")
+        };
         let lower = coverage_lower_bound(coverage as f64, sched.a1);
         let upper = coverage_upper_bound(coverage as f64, sched.a2);
         let certificate = if upper > 0.0 { lower / upper } else { 0.0 };
@@ -213,6 +248,7 @@ pub fn trim(
             });
         }
         let target = (pool.len() * 2).min(sched.theta_max);
+        let _span = smin_obs::Span::enter(&mut stage.sketch);
         edges_examined += sketch_gen
             .generate(&job, target, threads, pool)
             .edges_examined;

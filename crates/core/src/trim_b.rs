@@ -100,14 +100,18 @@ pub fn trim_b(
         pool,
         sketch_gen,
         engine,
+        stage,
         ..
     } = scratch;
     pool.reset();
     let mut edges_examined = 0usize;
 
-    edges_examined += sketch_gen
-        .generate(&job, sched.theta0, threads, pool)
-        .edges_examined;
+    {
+        let _span = smin_obs::Span::enter(&mut stage.sketch);
+        edges_examined += sketch_gen
+            .generate(&job, sched.theta0, threads, pool)
+            .edges_examined;
+    }
 
     let mut iterations = 0;
     loop {
@@ -115,7 +119,10 @@ pub fn trim_b(
         // CELF lazy greedy (the engine default) — identical selections to
         // eager greedy by the shared tie-breaking, without rescanning nodes
         // whose cached gain submodularity proves still fresh.
-        let greedy = engine.select(pool, b);
+        let greedy = {
+            let _span = smin_obs::Span::enter(&mut stage.coverage);
+            engine.select(pool, b)
+        };
         let coverage = greedy.covered;
         let lower = coverage_lower_bound(coverage as f64, sched.a1);
         // Line 10: the greedy coverage divided by ρ_b upper-bounds the
@@ -137,6 +144,7 @@ pub fn trim_b(
             });
         }
         let target = (pool.len() * 2).min(sched.theta_max);
+        let _span = smin_obs::Span::enter(&mut stage.sketch);
         edges_examined += sketch_gen
             .generate(&job, target, threads, pool)
             .edges_examined;

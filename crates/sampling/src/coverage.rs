@@ -184,10 +184,32 @@ pub struct CoverageEngine {
     pub last_heap_pushes: usize,
 }
 
+/// Instrumentation counters of the most recent coverage selection — CELF
+/// heap traffic and eager-scan volume, surfaced as one typed snapshot so
+/// the session layer can report them without reaching into engine fields.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SelectTraffic {
+    /// Heap pops by the most recent [`CoverageEngine::select`].
+    pub heap_pops: usize,
+    /// Heap re-pushes by the most recent [`CoverageEngine::select`].
+    pub heap_pushes: usize,
+    /// Nodes examined by the most recent [`CoverageEngine::select_eager`].
+    pub scanned: usize,
+}
+
 impl CoverageEngine {
     /// A fresh engine; buffers are sized lazily per pool.
     pub fn new() -> Self {
         CoverageEngine::default()
+    }
+
+    /// The instrumentation counters of the most recent selection.
+    pub fn select_traffic(&self) -> SelectTraffic {
+        SelectTraffic {
+            heap_pops: self.last_heap_pops,
+            heap_pushes: self.last_heap_pushes,
+            scanned: self.last_scanned,
+        }
     }
 
     /// Loads `pool`'s coverage counts into the marginal buffer and clears

@@ -7,18 +7,22 @@
 //! the same id can never serve a stale selection. Eviction is FIFO; the
 //! cache is a latency optimization, not a source of truth.
 
+use smin_obs::Counter;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// FIFO-bounded response cache. `BTreeMap` keeps the service free of
 /// hash-ordered state (the `no-hash-iteration` lint); lookups are O(log n)
 /// over at most `capacity` keys, noise next to running a selection.
+///
+/// Hit/miss totals are [`Counter`]s so `/healthz` and `/metrics` read the
+/// same monotonic cells — one source of truth for the cache numbers.
 pub struct SelectCache {
     capacity: usize,
     map: BTreeMap<String, Arc<[u8]>>,
     order: VecDeque<String>,
-    hits: u64,
-    misses: u64,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl SelectCache {
@@ -28,26 +32,26 @@ impl SelectCache {
             capacity,
             map: BTreeMap::new(),
             order: VecDeque::new(),
-            hits: 0,
-            misses: 0,
+            hits: Counter::new(),
+            misses: Counter::new(),
         }
     }
 
     /// The cached response body for `key`, if any. Counts hit/miss totals
-    /// for `/healthz` observability.
+    /// for `/healthz` and `/metrics` observability.
     pub fn get(&mut self, key: &str) -> Option<Arc<[u8]>> {
         let found = self.map.get(key).cloned();
         if found.is_some() {
-            self.hits += 1;
+            self.hits.inc();
         } else {
-            self.misses += 1;
+            self.misses.inc();
         }
         found
     }
 
     /// Lifetime `(hits, misses)` across every [`SelectCache::get`].
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        (self.hits.get(), self.misses.get())
     }
 
     /// Stores a response body, evicting the oldest entry at capacity.

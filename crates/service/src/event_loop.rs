@@ -37,6 +37,7 @@ use crate::error::{parse_deadline, ServiceError};
 use crate::http::{Request, RequestParser, Response, MAX_BUFFERED_BYTES};
 use crate::platform::{EpollEvent, Poller, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
 use crate::routes::{handle, ServiceState};
+use crate::trace::TraceEvent;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -361,6 +362,7 @@ pub(crate) fn serve(
         wheel: DeadlineWheel::new(),
         epoch,
         cfg,
+        state,
         job_tx: Some(job_tx),
         completions: Arc::clone(&completions),
         pending: Arc::clone(&pending),
@@ -407,7 +409,19 @@ fn dispatch_loop(
         };
         let elapsed = now_ms(epoch).saturating_sub(job.parsed_at_ms);
         let resp = match job.deadline_ms {
-            Some(d) if elapsed >= d => ServiceError::deadline_exceeded(d).to_response(),
+            Some(d) if elapsed >= d => {
+                state.metrics().errors_504.inc();
+                if let Some(trace) = state.trace() {
+                    trace.emit(&TraceEvent {
+                        method: Some(&job.req.method),
+                        path: Some(&job.req.path),
+                        status: 504,
+                        deadline_remaining_ms: Some(0),
+                        ..TraceEvent::default()
+                    });
+                }
+                ServiceError::deadline_exceeded(d).to_response()
+            }
             _ => handle(state, &job.req),
         };
         let mut bytes = Vec::new();
@@ -459,6 +473,8 @@ struct Loop<'a> {
     wheel: DeadlineWheel,
     epoch: Instant,
     cfg: &'a LoopConfig,
+    /// Shared state, for the loop-level metric series and trace log.
+    state: &'a ServiceState,
     /// `Some` while serving; dropped to release the dispatch pool.
     job_tx: Option<mpsc::Sender<Job>>,
     completions: Arc<Mutex<Vec<Done>>>,
@@ -480,7 +496,10 @@ impl Loop<'_> {
             } else {
                 0
             };
-            let n = self.poller.wait(&mut events, timeout)?;
+            let n = {
+                let _span = self.state.metrics().epoll_wait_micros.start_span();
+                self.poller.wait(&mut events, timeout)?
+            };
             for i in 0..n {
                 let Some((token, ready)) = events.get(i).map(|e| (e.token(), e.ready())) else {
                     break;
@@ -507,6 +526,17 @@ impl Loop<'_> {
             for e in &expired {
                 self.expire(*e);
             }
+            // Loop-health gauges, sampled once per iteration: queued +
+            // running dispatches, occupied slab slots, and connections
+            // awaiting a redrive.
+            let m = self.state.metrics();
+            m.dispatch_queue_depth
+                .set(u64::try_from(self.pending.load(Ordering::SeqCst)).unwrap_or(u64::MAX));
+            let occupied = self.slab.slots.len().saturating_sub(self.slab.free.len());
+            m.slab_connections
+                .set(u64::try_from(occupied).unwrap_or(u64::MAX));
+            m.redrive_queue_length
+                .set(u64::try_from(self.redrive.len()).unwrap_or(u64::MAX));
         }
         Ok(())
     }
@@ -619,47 +649,59 @@ impl Loop<'_> {
     }
 
     fn read_ready(&mut self, idx: usize, gen32: u64) {
+        enum After {
+            Nothing,
+            Close,
+            Drive,
+        }
         let mut buf = [0u8; READ_CHUNK];
-        loop {
+        let mut nread = 0u64;
+        let after = loop {
             let Some(conn) = self.slab.get_mut(idx, gen32) else {
-                return;
+                break After::Nothing;
             };
             if conn.busy {
-                return; // deregistered; a stray event is ignorable
+                break After::Nothing; // deregistered; a stray event is ignorable
             }
             if conn.read_closed {
                 // EPOLLHUP after EOF: finish any in-flight write (it will
                 // fail fast if the peer is fully gone), else close.
-                if conn.write.is_empty() {
-                    self.close_conn(idx, gen32);
+                break if conn.write.is_empty() {
+                    After::Close
                 } else {
-                    self.drive(idx, gen32);
-                }
-                return;
+                    After::Drive
+                };
             }
             // Backlog cap: stop pulling bytes off the socket until the
             // already-buffered pipelined requests are consumed. The cap
-            // exceeds any single request, so `drive` below always makes
+            // exceeds any single request, so the drive below always makes
             // progress, and level-triggered readiness re-reports the
             // unread socket data once the backlog drains.
             if conn.parser.buffered_len() >= MAX_BUFFERED_BYTES {
-                break;
+                break After::Drive;
             }
             match conn.stream.read(&mut buf) {
                 Ok(0) => {
                     conn.read_closed = true;
-                    break;
+                    break After::Drive;
                 }
-                Ok(n) => conn.parser.feed(buf.get(..n).unwrap_or(&[])),
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Ok(n) => {
+                    nread = nread.saturating_add(n as u64);
+                    conn.parser.feed(buf.get(..n).unwrap_or(&[]));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break After::Drive,
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => {
-                    self.close_conn(idx, gen32);
-                    return;
-                }
+                Err(_) => break After::Close,
             }
+        };
+        if nread > 0 {
+            self.state.metrics().bytes_read.add(nread);
         }
-        self.drive(idx, gen32);
+        match after {
+            After::Nothing => {}
+            After::Close => self.close_conn(idx, gen32),
+            After::Drive => self.drive(idx, gen32),
+        }
     }
 
     /// Drives one connection's state machine to quiescence, iteratively:
@@ -674,17 +716,22 @@ impl Loop<'_> {
         let mut sync_budget = SYNC_RESPONSES_PER_DRIVE;
         loop {
             // Phase 1: push out whatever is queued for writing.
-            let outcome = {
+            let (outcome, wrote) = {
                 let Some(conn) = self.slab.get_mut(idx, gen32) else {
                     return;
                 };
                 if conn.write.is_empty() {
-                    None
+                    (None, 0u64)
                 } else {
                     let Conn { stream, write, .. } = conn;
-                    Some(write.write_to(stream))
+                    let before = write.written;
+                    let outcome = write.write_to(stream);
+                    (Some(outcome), write.written.saturating_sub(before) as u64)
                 }
             };
+            if wrote > 0 {
+                self.state.metrics().bytes_written.add(wrote);
+            }
             match outcome {
                 Some(WriteOutcome::Error) => {
                     self.close_conn(idx, gen32);
@@ -760,6 +807,14 @@ impl Loop<'_> {
                     // Protocol violation: the stream position is
                     // unknowable, so answer once and close — the same
                     // contract as the threaded transport.
+                    self.state.metrics().errors_400.inc();
+                    if let Some(trace) = self.state.trace() {
+                        // No parsed request to name: method/path are null.
+                        trace.emit(&TraceEvent {
+                            status: 400,
+                            ..TraceEvent::default()
+                        });
+                    }
                     let resp = ServiceError::bad_request(format!("malformed HTTP: {message}"))
                         .to_response();
                     self.queue_response(idx, gen32, &resp, false);
@@ -782,11 +837,30 @@ impl Loop<'_> {
         let deadline_ms = match parse_deadline(&req) {
             Ok(d) => d,
             Err(e) => {
+                self.state.metrics().errors_400.inc();
+                if let Some(trace) = self.state.trace() {
+                    trace.emit(&TraceEvent {
+                        method: Some(&req.method),
+                        path: Some(&req.path),
+                        status: 400,
+                        ..TraceEvent::default()
+                    });
+                }
                 self.queue_response(idx, gen32, &e.to_response(), keep_alive);
                 return Dispatch::Sync;
             }
         };
         if self.pending.load(Ordering::SeqCst) >= self.cfg.max_pending {
+            self.state.metrics().errors_429.inc();
+            if let Some(trace) = self.state.trace() {
+                trace.emit(&TraceEvent {
+                    method: Some(&req.method),
+                    path: Some(&req.path),
+                    status: 429,
+                    deadline_remaining_ms: deadline_ms,
+                    ..TraceEvent::default()
+                });
+            }
             self.queue_response(
                 idx,
                 gen32,
@@ -865,24 +939,41 @@ impl Loop<'_> {
             Close,
             Timeout408,
         }
-        let act = {
+        let (act, class) = {
             let Some(conn) = self.slab.get_mut(e.idx, e.gen32) else {
                 return;
             };
             if conn.timer_gen != e.timer_gen || conn.busy {
                 return; // re-armed (or dispatching) since this was scheduled
             }
-            if !conn.write.is_empty() {
+            let act = if !conn.write.is_empty() {
                 Act::Close
             } else if conn.parser.head_parsed() {
                 Act::Timeout408
             } else {
                 Act::Close
-            }
+            };
+            (act, conn.timer)
         };
+        let m = self.state.metrics();
+        match class {
+            TimerClass::None => {}
+            TimerClass::Idle => m.timer_expirations_idle.inc(),
+            TimerClass::Request => m.timer_expirations_request.inc(),
+            TimerClass::Write => m.timer_expirations_write.inc(),
+        }
         match act {
             Act::Close => self.close_conn(e.idx, e.gen32),
             Act::Timeout408 => {
+                m.errors_408.inc();
+                if let Some(trace) = self.state.trace() {
+                    // The wheel fired before a full request parsed:
+                    // method/path are null.
+                    trace.emit(&TraceEvent {
+                        status: 408,
+                        ..TraceEvent::default()
+                    });
+                }
                 let resp = ServiceError::request_timeout().to_response();
                 self.queue_response(e.idx, e.gen32, &resp, false);
                 self.drive(e.idx, e.gen32);

@@ -463,16 +463,28 @@ impl Response {
     }
 
     /// Writes the response; `keep_alive` picks the `Connection` header.
+    /// `Content-Type` defaults to JSON; a `Content-Type` entry among the
+    /// extra headers overrides it in place (used by `/metrics` for the
+    /// Prometheus text format) without being written twice.
     pub fn write_to(&self, writer: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let content_type = self
+            .headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-type"))
+            .map_or("application/json", |(_, v)| v.as_str());
         write!(
             writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             status_text(self.status),
+            content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         )?;
         for (k, v) in &self.headers {
+            if k.eq_ignore_ascii_case("content-type") {
+                continue;
+            }
             write!(writer, "{k}: {v}\r\n")?;
         }
         writer.write_all(b"\r\n")?;
@@ -581,6 +593,24 @@ mod tests {
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.contains("X-Test: 1\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn content_type_header_overrides_the_json_default_once() {
+        let resp = Response {
+            status: 200,
+            headers: vec![(
+                "Content-Type".to_string(),
+                "text/plain; version=0.0.4".to_string(),
+            )],
+            body: b"x 1\n".to_vec(),
+        };
+        let mut out = Vec::new();
+        resp.write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert_eq!(text.matches("Content-Type:").count(), 1, "{text}");
+        assert!(!text.contains("application/json"));
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //!   admission control at a pending-dispatch high-water mark (429), and
 //!   batched selection (`POST /v1/select-batch`) amortizing graph
 //!   resolution and session checkout across items.
+//! * **Observability** ([`metrics`], [`trace`]): a lock-free metric
+//!   registry ([`smin_obs`]) fed by the event loop, the session layer, and
+//!   the registry/cache, exposed at `GET /metrics` in the Prometheus text
+//!   format on both transports; optional per-request JSON trace lines via
+//!   `--trace-log`. Timing travels in headers and logs only — response
+//!   bodies stay byte-identical with instrumentation on.
 //!
 //! Per-request `threads` (or the `SMIN_THREADS` env var, resolved at
 //! request time) picks the sketch-generation worker count; it never changes
@@ -47,12 +53,16 @@ pub mod error;
 pub(crate) mod event_loop;
 pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod platform;
 pub mod registry;
 pub mod routes;
 pub mod server;
+pub mod trace;
 
 pub use client::{Client, ClientResponse};
 pub use error::ServiceError;
+pub use metrics::ServiceMetrics;
 pub use routes::ServiceState;
 pub use server::{Server, ServerConfig, ServerHandle, Transport};
+pub use trace::TraceLog;

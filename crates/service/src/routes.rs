@@ -25,9 +25,11 @@ use crate::cache::SelectCache;
 use crate::error::ServiceError;
 use crate::http::{Request, Response};
 use crate::json;
+use crate::metrics::ServiceMetrics;
 use crate::registry::{
     manifest_json, parse_manifest, record_select, GraphEntry, ManifestEntry, Registry,
 };
+use crate::trace::{StageMicrosLine, TraceEvent, TraceLog};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde_json::{json, Value};
@@ -52,6 +54,11 @@ pub struct ServiceState {
     /// `None` keeps the registry in-memory only.
     state_dir: Option<PathBuf>,
     started: Instant,
+    /// Shared metric registry, fed by both transports and scraped at
+    /// `GET /metrics`.
+    metrics: ServiceMetrics,
+    /// Per-request JSON trace lines (`--trace-log`); `None` disables.
+    trace: Option<TraceLog>,
 }
 
 impl ServiceState {
@@ -65,6 +72,8 @@ impl ServiceState {
             state_dir: None,
             // smin-lint: allow(no-wall-clock) -- /healthz uptime is observability, outside the determinism contract
             started: Instant::now(),
+            metrics: ServiceMetrics::new(),
+            trace: None,
         }
     }
 
@@ -91,12 +100,28 @@ impl ServiceState {
         Ok(state)
     }
 
-    fn registry(&self) -> MutexGuard<'_, Registry> {
+    pub(crate) fn registry(&self) -> MutexGuard<'_, Registry> {
         self.registry.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn cache(&self) -> MutexGuard<'_, SelectCache> {
+    pub(crate) fn cache(&self) -> MutexGuard<'_, SelectCache> {
         self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The shared metric registry scraped at `GET /metrics`.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// The per-request trace log, when `--trace-log` is active.
+    pub fn trace(&self) -> Option<&TraceLog> {
+        self.trace.as_ref()
+    }
+
+    /// Attaches a trace log. Called once at server bind, before the state
+    /// is shared across threads.
+    pub fn set_trace(&mut self, trace: TraceLog) {
+        self.trace = Some(trace);
     }
 }
 
@@ -161,12 +186,20 @@ fn write_manifest(dir: &Path, registry: &Registry) -> Result<(), String> {
 /// Routes one request. Never panics on malformed input — every failure
 /// becomes a structured JSON error.
 pub fn handle(state: &ServiceState, req: &Request) -> Response {
+    // Scrapes return before any counter or trace mutation, so two
+    // back-to-back scrapes with no intervening traffic are byte-identical.
+    if req.method == "GET" && req.path == "/metrics" {
+        return metrics_response(state);
+    }
+    // smin-lint: allow(no-wall-clock) -- feeds the trace log's deadline_remaining_ms only
+    let started = Instant::now();
+    let mut stages: Option<StageMicrosLine> = None;
     let result = match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Ok(healthz(state)),
         ("GET", "/v1/graphs") => Ok(list_graphs(state)),
         ("POST", "/v1/graphs") => register_graph(state, &req.body),
-        ("POST", "/v1/select") => select(state, &req.body),
-        ("POST", "/v1/select-batch") => select_batch(state, &req.body),
+        ("POST", "/v1/select") => select(state, req, &mut stages),
+        ("POST", "/v1/select-batch") => select_batch(state, req, &mut stages),
         (method, path)
             if path
                 .strip_prefix("/v1/graphs/")
@@ -177,15 +210,65 @@ pub fn handle(state: &ServiceState, req: &Request) -> Response {
                 _ => Err(method_not_allowed(method, path)),
             }
         }
-        (method, path @ ("/healthz" | "/v1/graphs" | "/v1/select" | "/v1/select-batch")) => {
-            Err(method_not_allowed(method, path))
-        }
+        (
+            method,
+            path @ ("/healthz" | "/v1/graphs" | "/v1/select" | "/v1/select-batch" | "/metrics"),
+        ) => Err(method_not_allowed(method, path)),
         (_, path) => Err(ServiceError::not_found(
             "unknown_route",
             format!("no route for {path}"),
         )),
     };
-    result.unwrap_or_else(|e| e.to_response())
+    let resp = result.unwrap_or_else(|e| e.to_response());
+    route_counter(state.metrics(), req.path.as_str()).inc();
+    if let Some(trace) = state.trace() {
+        let cache = resp
+            .headers
+            .iter()
+            .find(|(k, _)| k == "X-Cache")
+            .map(|(_, v)| v.as_str());
+        let deadline_remaining_ms = req
+            .header("x-deadline-millis")
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(|d| {
+                let spent = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+                d.saturating_sub(spent)
+            });
+        trace.emit(&TraceEvent {
+            method: Some(&req.method),
+            path: Some(&req.path),
+            status: resp.status,
+            micros: stages,
+            cache,
+            deadline_remaining_ms,
+        });
+    }
+    resp
+}
+
+/// `GET /metrics` — Prometheus text exposition of the whole registry.
+fn metrics_response(state: &ServiceState) -> Response {
+    Response {
+        status: 200,
+        headers: vec![(
+            "Content-Type".to_string(),
+            smin_obs::expo::CONTENT_TYPE.to_string(),
+        )],
+        body: crate::metrics::render(state).into_bytes(),
+    }
+}
+
+/// The request counter a path belongs to. `/v1/graphs/{id}` folds into the
+/// graphs class; everything unrouted is `other`.
+fn route_counter<'a>(m: &'a ServiceMetrics, path: &str) -> &'a smin_obs::Counter {
+    match path {
+        "/healthz" => &m.requests_healthz,
+        "/v1/graphs" => &m.requests_graphs,
+        "/v1/select" => &m.requests_select,
+        "/v1/select-batch" => &m.requests_select_batch,
+        p if p.starts_with("/v1/graphs/") => &m.requests_graphs,
+        _ => &m.requests_other,
+    }
 }
 
 fn method_not_allowed(method: &str, path: &str) -> ServiceError {
@@ -534,6 +617,7 @@ fn parse_select_fields(entry: Arc<GraphEntry>, v: &Value) -> Result<SelectReques
 fn compute_select_body(
     req: &SelectRequest,
     session: &mut AstiSession,
+    stages: &mut StageMicrosLine,
 ) -> Result<Vec<u8>, ServiceError> {
     let g = &req.entry.graph;
     let mut world_rng = SmallRng::seed_from_u64(req.seed.wrapping_add(1000));
@@ -586,7 +670,11 @@ fn compute_select_body(
         "total_sets": report.total_sets,
         "rounds": rounds,
     });
-    let body = serde_json::to_string(&body_value)
+    let serialized = {
+        let _span = smin_obs::Span::enter(&mut stages.serialize);
+        serde_json::to_string(&body_value)
+    };
+    let body = serialized
         .map_err(|e| {
             ServiceError::new(
                 500,
@@ -605,6 +693,7 @@ fn run_select_item(
     state: &ServiceState,
     req: &SelectRequest,
     session: &mut AstiSession,
+    stages: &mut StageMicrosLine,
 ) -> Result<(Vec<u8>, bool), ServiceError> {
     let key = req.cache_key();
     if req.use_cache {
@@ -613,7 +702,22 @@ fn run_select_item(
             return Ok((cached.to_vec(), true));
         }
     }
-    let body = compute_select_body(req, session)?;
+    let body = compute_select_body(req, session, stages)?;
+    // The session accumulated sketch/coverage splits while `asti_in` ran
+    // (reset at its entry), and the coverage engine kept its most recent
+    // selection's traffic — fold both into the registry here, once per
+    // computed item.
+    let sm = session.stage_micros();
+    stages.sketch = stages.sketch.saturating_add(sm.sketch);
+    stages.coverage = stages.coverage.saturating_add(sm.coverage);
+    let traffic = session.select_traffic();
+    let m = state.metrics();
+    m.coverage_last_heap_pops
+        .set(u64::try_from(traffic.heap_pops).unwrap_or(u64::MAX));
+    m.coverage_last_heap_pushes
+        .set(u64::try_from(traffic.heap_pushes).unwrap_or(u64::MAX));
+    m.coverage_last_scanned
+        .set(u64::try_from(traffic.scanned).unwrap_or(u64::MAX));
     record_select(&req.entry);
     if req.use_cache {
         state
@@ -628,28 +732,64 @@ fn run_select_item(
 /// Runs the adaptive campaign against a world sampled from `seed` (the same
 /// convention as `asm run`: world RNG stream `seed + 1000`, algorithm RNG
 /// stream `seed`), on a session recycled from the graph's warm shelf.
-fn select(state: &ServiceState, body: &[u8]) -> Result<Response, ServiceError> {
-    let req = parse_select(state, body)?;
+fn select(
+    state: &ServiceState,
+    http_req: &Request,
+    stages_out: &mut Option<StageMicrosLine>,
+) -> Result<Response, ServiceError> {
+    let mut stages = StageMicrosLine::default();
+    let req = {
+        let _span = smin_obs::Span::enter(&mut stages.resolve);
+        parse_select(state, &http_req.body)
+    }?;
     // smin-lint: allow(no-wall-clock) -- feeds the X-Select-Micros header only; bodies stay bit-identical
     let started = Instant::now();
 
-    let mut session = req.entry.checkout_session();
-    let result = run_select_item(state, &req, &mut session);
+    let mut session = {
+        let _span = smin_obs::Span::enter(&mut stages.checkout);
+        req.entry.checkout_session()
+    };
+    let result = run_select_item(state, &req, &mut session, &mut stages);
     req.entry.checkin_session(session);
     let (body, hit) = result?;
 
+    observe_stages(state.metrics(), &stages);
     let cache_status = match (req.use_cache, hit) {
         (false, _) => "BYPASS",
         (true, true) => "HIT",
         (true, false) => "MISS",
     };
-    Ok(Response {
+    let mut resp = Response {
         status: 200,
         headers: Vec::new(),
         body,
     }
     .with_header("X-Cache", cache_status)
-    .with_header("X-Select-Micros", started.elapsed().as_micros().to_string()))
+    .with_header("X-Select-Micros", started.elapsed().as_micros().to_string());
+    if http_req.header("x-stage-micros").is_some() {
+        resp = resp.with_header("X-Stage-Micros", format_stage_header(&stages));
+    }
+    *stages_out = Some(stages);
+    Ok(resp)
+}
+
+/// Folds one request's stage splits into the exposition histograms.
+fn observe_stages(m: &ServiceMetrics, s: &StageMicrosLine) {
+    m.stage_resolve_micros.observe(s.resolve);
+    m.stage_checkout_micros.observe(s.checkout);
+    m.stage_sketch_micros.observe(s.sketch);
+    m.stage_coverage_micros.observe(s.coverage);
+    m.stage_serialize_micros.observe(s.serialize);
+}
+
+/// The opt-in `X-Stage-Micros` response header value. Timing travels in
+/// headers, never bodies, so instrumentation cannot perturb the
+/// byte-identity contract.
+fn format_stage_header(s: &StageMicrosLine) -> String {
+    format!(
+        "resolve={};checkout={};sketch={};coverage={};serialize={}",
+        s.resolve, s.checkout, s.sketch, s.coverage, s.serialize
+    )
 }
 
 /// `POST /v1/select-batch`
@@ -660,11 +800,19 @@ fn select(state: &ServiceState, body: &[u8]) -> Result<Response, ServiceError> {
 /// would receive from `/v1/select`, so each `results` element is pinned
 /// byte-identical to its sequential counterpart. Any failing item fails
 /// the whole batch with its error, prefixed by the item index.
-fn select_batch(state: &ServiceState, body: &[u8]) -> Result<Response, ServiceError> {
-    let v = json::parse_object(body)?;
+fn select_batch(
+    state: &ServiceState,
+    http_req: &Request,
+    stages_out: &mut Option<StageMicrosLine>,
+) -> Result<Response, ServiceError> {
+    let mut stages = StageMicrosLine::default();
+    let v = json::parse_object(&http_req.body)?;
     // smin-lint: allow(no-wall-clock) -- feeds the X-Select-Micros header only; bodies stay bit-identical
     let started = Instant::now();
-    let entry = resolve_graph(state, &v)?;
+    let entry = {
+        let _span = smin_obs::Span::enter(&mut stages.resolve);
+        resolve_graph(state, &v)
+    }?;
     let items = match json::field(&v, "items") {
         Some(Value::Array(items)) => items,
         Some(_) => {
@@ -702,13 +850,16 @@ fn select_batch(state: &ServiceState, body: &[u8]) -> Result<Response, ServiceEr
     // One warm session serves the whole batch — this is the amortization
     // the endpoint exists for. Session reuse never changes results, so the
     // bodies below still match sequential `/v1/select` calls exactly.
-    let mut session = entry.checkout_session();
+    let mut session = {
+        let _span = smin_obs::Span::enter(&mut stages.checkout);
+        entry.checkout_session()
+    };
     let mut results = Vec::new();
     let mut hits = 0usize;
     let mut bypassed = 0usize;
     let mut outcome = Ok(());
     for (i, req) in reqs.iter().enumerate() {
-        match run_select_item(state, req, &mut session) {
+        match run_select_item(state, req, &mut session, &mut stages) {
             Ok((bytes, hit)) => {
                 if !req.use_cache {
                     bypassed += 1;
@@ -759,13 +910,19 @@ fn select_batch(state: &ServiceState, body: &[u8]) -> Result<Response, ServiceEr
     } else {
         "MIXED"
     };
-    Ok(Response {
+    observe_stages(state.metrics(), &stages);
+    let mut resp = Response {
         status: 200,
         headers: Vec::new(),
         body,
     }
     .with_header("X-Cache", cache_status)
-    .with_header("X-Select-Micros", started.elapsed().as_micros().to_string()))
+    .with_header("X-Select-Micros", started.elapsed().as_micros().to_string());
+    if http_req.header("x-stage-micros").is_some() {
+        resp = resp.with_header("X-Stage-Micros", format_stage_header(&stages));
+    }
+    *stages_out = Some(stages);
+    Ok(resp)
 }
 
 #[cfg(test)]
@@ -1230,6 +1387,72 @@ mod tests {
             .expect("boot over damaged state must fail");
         assert!(err.contains("unsafe file path"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_endpoint_is_byte_stable_between_scrapes() {
+        let s = state();
+        register_er(&s, "g", 60);
+        post(&s, "/v1/select", r#"{"graph":"g","eta":15,"seed":1}"#);
+        let first = get(&s, "/metrics");
+        assert_eq!(first.status, 200);
+        assert_eq!(
+            first.headers.iter().find(|(k, _)| k == "Content-Type"),
+            Some(&(
+                "Content-Type".to_string(),
+                "text/plain; version=0.0.4".to_string()
+            ))
+        );
+        // A scrape mutates nothing, so a second scrape with no intervening
+        // traffic returns the exact same bytes.
+        let second = get(&s, "/metrics");
+        assert_eq!(second.body, first.body, "scrapes must not perturb metrics");
+        let text = body_str(&first);
+        assert!(text.contains("smin_http_requests_total{route=\"select\"} 1\n"));
+        assert!(text.contains("smin_graph_selects_total{graph=\"g\"} 1\n"));
+        assert!(text.contains("smin_select_stage_micros_count{stage=\"coverage\"} 1\n"));
+        assert!(text.contains("smin_cache_lookups_total{outcome=\"miss\"} 1\n"));
+        // Wrong method on /metrics is a structured 405, like every route.
+        assert_eq!(post(&s, "/metrics", "{}").status, 405);
+    }
+
+    #[test]
+    fn stage_micros_header_is_opt_in_and_never_changes_bodies() {
+        let s = state();
+        register_er(&s, "g", 60);
+        let body = r#"{"graph":"g","eta":15,"seed":1,"cache":false}"#;
+        let plain = post(&s, "/v1/select", body);
+        assert!(
+            !plain.headers.iter().any(|(k, _)| k == "X-Stage-Micros"),
+            "header only appears when requested"
+        );
+        let req = Request {
+            method: "POST".into(),
+            path: "/v1/select".into(),
+            version: "HTTP/1.1".into(),
+            headers: vec![("x-stage-micros".into(), "1".into())],
+            body: body.as_bytes().to_vec(),
+        };
+        let traced = handle(&s, &req);
+        let header = traced
+            .headers
+            .iter()
+            .find(|(k, _)| k == "X-Stage-Micros")
+            .map(|(_, v)| v.clone())
+            .expect("opt-in header present");
+        for stage in [
+            "resolve=",
+            "checkout=",
+            "sketch=",
+            "coverage=",
+            "serialize=",
+        ] {
+            assert!(header.contains(stage), "{header}");
+        }
+        assert_eq!(
+            traced.body, plain.body,
+            "timing lives in headers, never bodies"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use crate::error::{parse_deadline, ServiceError};
 use crate::http::{read_request, Response};
 use crate::routes::{handle, ServiceState};
+use crate::trace::{TraceEvent, TraceLog};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -77,6 +78,9 @@ pub struct ServerConfig {
     /// Mid-request / response-write timeout. Under the threaded transport
     /// this is the per-connection socket read timeout.
     pub request_timeout_ms: u64,
+    /// Structured per-request trace log (`--trace-log`): one JSON line per
+    /// request, written by a dedicated log thread. `None` disables tracing.
+    pub trace_log: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +95,7 @@ impl Default for ServerConfig {
             max_pending: 1024,
             idle_timeout_ms: 30_000,
             request_timeout_ms: 30_000,
+            trace_log: None,
         }
     }
 }
@@ -106,12 +111,20 @@ impl Server {
     /// Binds the listener and builds the shared state.
     pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        let state = ServiceState::with_state_dir(
+        let mut state = ServiceState::with_state_dir(
             config.graphs_dir.clone(),
             config.cache_capacity,
             config.state_dir.clone(),
         )
         .map_err(std::io::Error::other)?;
+        if let Some(path) = &config.trace_log {
+            // An unopenable trace log is a boot error, not a silent no-op:
+            // the operator asked for a record of every request.
+            let trace = TraceLog::open(path).map_err(|e| {
+                std::io::Error::new(e.kind(), format!("cannot open trace log {path:?}: {e}"))
+            })?;
+            state.set_trace(trace);
+        }
         Ok(Server {
             listener,
             state: Arc::new(state),
@@ -276,14 +289,47 @@ pub(crate) fn dispatch_request(
 ) -> Response {
     let deadline = match parse_deadline(req) {
         Ok(d) => d,
-        Err(e) => return e.to_response(),
+        Err(e) => {
+            state.metrics().errors_400.inc();
+            if let Some(trace) = state.trace() {
+                trace.emit(&TraceEvent {
+                    method: Some(&req.method),
+                    path: Some(&req.path),
+                    status: 400,
+                    ..TraceEvent::default()
+                });
+            }
+            return e.to_response();
+        }
     };
     if pending.load(Ordering::SeqCst) >= max_pending {
+        state.metrics().errors_429.inc();
+        if let Some(trace) = state.trace() {
+            trace.emit(&TraceEvent {
+                method: Some(&req.method),
+                path: Some(&req.path),
+                status: 429,
+                deadline_remaining_ms: deadline,
+                ..TraceEvent::default()
+            });
+        }
         return ServiceError::overloaded().to_response();
     }
     pending.fetch_add(1, Ordering::SeqCst);
     let resp = match deadline {
-        Some(d) if elapsed_ms >= d => ServiceError::deadline_exceeded(d).to_response(),
+        Some(d) if elapsed_ms >= d => {
+            state.metrics().errors_504.inc();
+            if let Some(trace) = state.trace() {
+                trace.emit(&TraceEvent {
+                    method: Some(&req.method),
+                    path: Some(&req.path),
+                    status: 504,
+                    deadline_remaining_ms: Some(0),
+                    ..TraceEvent::default()
+                });
+            }
+            ServiceError::deadline_exceeded(d).to_response()
+        }
         _ => handle(state, req),
     };
     pending.fetch_sub(1, Ordering::SeqCst);
@@ -324,6 +370,14 @@ fn handle_connection(
                 // Anything else — reset, truncation, idle timeout — closes
                 // silently, exactly like the event loop.
                 if e.timed_out && e.head_parsed {
+                    state.metrics().errors_408.inc();
+                    if let Some(trace) = state.trace() {
+                        // No fully-parsed request: method/path are null.
+                        trace.emit(&TraceEvent {
+                            status: 408,
+                            ..TraceEvent::default()
+                        });
+                    }
                     let resp = ServiceError::request_timeout().to_response();
                     let _ = resp.write_to(&mut writer, false);
                 }
@@ -332,6 +386,13 @@ fn handle_connection(
             Err(e) => {
                 // Protocol violation: the stream position is unknowable, so
                 // answer once and close.
+                state.metrics().errors_400.inc();
+                if let Some(trace) = state.trace() {
+                    trace.emit(&TraceEvent {
+                        status: 400,
+                        ..TraceEvent::default()
+                    });
+                }
                 let resp = ServiceError::bad_request(format!("malformed HTTP: {e}")).to_response();
                 let _ = Response::write_to(&resp, &mut writer, false);
                 break;

@@ -332,6 +332,124 @@ fn pipelined_sync_response_flood_is_answered_iteratively() {
 }
 
 #[test]
+fn metrics_are_exposed_on_both_transports() {
+    for transport in [Transport::Threaded, Transport::Epoll] {
+        if transport == Transport::Epoll && !epoll_available() {
+            continue;
+        }
+        let mut handle = spawn(transport, |_| {});
+        let mut c = client(&handle);
+        assert_eq!(c.post("/v1/graphs", REGISTER).unwrap().status, 201);
+        let select = r#"{"graph":"g","eta":30,"seed":5}"#;
+        assert_eq!(c.post("/v1/select", select).unwrap().status, 200);
+        assert_eq!(c.post("/v1/select", select).unwrap().status, 200);
+        assert_eq!(c.get("/healthz").unwrap().status, 200);
+
+        let resp = c.get("/metrics").unwrap();
+        assert_eq!(resp.status, 200, "{transport:?}");
+        assert_eq!(
+            resp.header("Content-Type"),
+            Some("text/plain; version=0.0.4"),
+            "{transport:?}"
+        );
+        let text = resp.text();
+        // Session-layer series populated by the traffic above.
+        assert!(
+            text.contains("smin_http_requests_total{route=\"select\"} 2\n"),
+            "{transport:?}:\n{text}"
+        );
+        assert!(
+            text.contains("smin_http_requests_total{route=\"healthz\"} 1\n"),
+            "{transport:?}"
+        );
+        assert!(
+            text.contains("smin_select_stage_micros_count{stage=\"coverage\"} 2\n"),
+            "{transport:?}"
+        );
+        assert!(
+            text.contains("smin_cache_lookups_total{outcome=\"hit\"} 1\n"),
+            "{transport:?}"
+        );
+        assert!(
+            text.contains("smin_graph_selects_total{graph=\"g\"} 2\n"),
+            "{transport:?}"
+        );
+        // Event-loop series populate only under the epoll transport; the
+        // families are present (exposition shape is transport-independent).
+        assert!(text.contains("# TYPE smin_epoll_wait_micros histogram"));
+        assert!(text.contains("# TYPE smin_bytes_read_total counter"));
+        if transport == Transport::Epoll {
+            let read = text
+                .lines()
+                .find_map(|l| l.strip_prefix("smin_bytes_read_total "))
+                .and_then(|v| v.parse::<u64>().ok())
+                .expect("bytes-read sample");
+            assert!(read > 0, "{transport:?}: event loop counted no reads");
+        }
+        drop(c);
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn trace_log_records_one_line_per_request() {
+    for transport in [Transport::Threaded, Transport::Epoll] {
+        if transport == Transport::Epoll && !epoll_available() {
+            continue;
+        }
+        let path = std::env::temp_dir().join(format!("smin_trace_{transport:?}.jsonl"));
+        let _ = std::fs::remove_file(&path);
+        let trace = path.clone();
+        let mut handle = spawn(transport, move |c| c.trace_log = Some(trace));
+        let mut c = client(&handle);
+        assert_eq!(c.post("/v1/graphs", REGISTER).unwrap().status, 201);
+        let resp = c
+            .post_with_headers(
+                "/v1/select",
+                r#"{"graph":"g","eta":30,"seed":5}"#,
+                &[("X-Deadline-Millis", "60000")],
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        drop(c);
+        handle.shutdown(); // drops the state, flushing the log thread
+
+        let mut text = String::new();
+        for _ in 0..200 {
+            text = std::fs::read_to_string(&path).unwrap_or_default();
+            if text.lines().count() >= 2 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let lines: Vec<serde_json::Value> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("trace line parses"))
+            .collect();
+        assert_eq!(lines.len(), 2, "{transport:?}: one line per request");
+        let select = &lines[1];
+        let get = |k: &str| {
+            let v = smin_service::json::field(select, k).expect("field present");
+            serde_json::to_string(v).unwrap()
+        };
+        assert_eq!(get("method"), r#""POST""#, "{transport:?}");
+        assert_eq!(get("path"), r#""/v1/select""#, "{transport:?}");
+        assert_eq!(get("status"), "200");
+        assert_eq!(get("cache"), r#""MISS""#);
+        let micros = smin_service::json::field(select, "micros").expect("micros present");
+        assert!(
+            smin_service::json::field(micros, "coverage").is_some(),
+            "{transport:?}: stage micros recorded"
+        );
+        assert!(
+            get("deadline_remaining_ms") != "null",
+            "{transport:?}: deadline header surfaced"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
 fn threaded_admission_counts_queued_connections() {
     let mut handle = spawn(Transport::Threaded, |c| {
         c.workers = 1;
